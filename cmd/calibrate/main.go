@@ -1,0 +1,84 @@
+// Command calibrate runs short sweeps of both workloads across the paper's
+// memory sizes and prints the shape metrics the reproduction must land in,
+// next to their paper targets. It is the tuning tool DESIGN.md's workload
+// substitution relies on.
+//
+// Usage:
+//
+//	calibrate [-refs N] [-w workload1|slc|all] [-ref miss|ref|noref]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	refs := flag.Int64("refs", 8_000_000, "references per run")
+	which := flag.String("w", "all", "workload: workload1, slc, or all")
+	refPol := flag.String("ref", "miss", "reference policy: miss, ref, noref")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var rp core.RefPolicy
+	switch *refPol {
+	case "miss":
+		rp = core.RefMISS
+	case "ref":
+		rp = core.RefTRUE
+	case "noref":
+		rp = core.RefNONE
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ref policy %q\n", *refPol)
+		os.Exit(2)
+	}
+
+	type wl struct {
+		name core.WorkloadName
+		spec workload.Spec
+	}
+	var wls []wl
+	if *which == "workload1" || *which == "all" {
+		wls = append(wls, wl{core.Workload1, workload.Workload1Spec()})
+	}
+	if *which == "slc" || *which == "all" {
+		wls = append(wls, wl{core.SLC, workload.SLCSpec()})
+	}
+
+	fmt.Printf("%-10s %3s | %7s %7s %7s %6s | %6s %6s %6s | %8s %8s %7s | %6s\n",
+		"workload", "MB", "Nds", "Nzfod", "Ndm", "pgins",
+		"zf/ds", "ef/ds'", "rbw", "NwHit", "NwMiss", "miss%", "elap")
+	for _, w := range wls {
+		for _, mb := range core.MemorySizesMB {
+			cfg := machine.DefaultConfig()
+			cfg.MemoryBytes = mb << 20
+			cfg.TotalRefs = *refs
+			cfg.Ref = rp
+			cfg.Seed = *seed
+			res := machine.RunSpec(cfg, w.spec)
+			ev := res.Events
+			fmt.Printf("%-10s %3d | %7d %7d %7d %6d | %6.2f %6.2f %6.2f | %8d %8d %6.1f%% | %5.0fs\n",
+				w.name, mb, ev.Nds, ev.Nzfod, ev.Nstale(), ev.PageIns,
+				float64(ev.Nzfod)/float64(max(ev.Nds, 1)),
+				ev.ExcessFractionExcludingZFOD(),
+				ev.ReadBeforeWriteFraction(),
+				ev.NwHit, ev.NwMiss,
+				100*float64(ev.Misses)/float64(max(ev.Refs, 1)),
+				res.ElapsedSeconds)
+		}
+	}
+	fmt.Println("\npaper targets: zf/ds 0.39-0.70 | ef/ds' 0.15-0.34 | rbw 0.15-0.24")
+	fmt.Println("page-ins (MISS): SLC 4647/1833/1056; W1 11959/3556/1837 at 5/6/8 MB")
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

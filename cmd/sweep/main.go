@@ -1,0 +1,57 @@
+// Command sweep runs the paper's closing question as an experiment: how do
+// the reference-bit policies fare as main memory keeps growing past the
+// paper's 8 MB? It prints page-in curves per policy (and optionally CSV),
+// the study the authors say they were "conducting further studies" toward.
+//
+// Usage:
+//
+//	sweep                      # both workloads, 4-16 MB, all policies
+//	sweep -w slc -refs 4000000 # quicker
+//	sweep -csv > sweep.csv     # machine-readable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spur "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	wl := flag.String("w", "all", "workload: workload1, slc, all")
+	refs := flag.Int64("refs", 8_000_000, "references per run")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of charts")
+	flag.Parse()
+
+	opts := spur.MemorySweepOptions{Refs: *refs, Seed: *seed}
+	switch *wl {
+	case "workload1":
+		opts.Workloads = []core.WorkloadName{core.Workload1}
+	case "slc":
+		opts.Workloads = []core.WorkloadName{core.SLC}
+	case "all":
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	fmt.Fprintln(os.Stderr, "sweeping memory sizes (one run per point; this takes a few minutes)...")
+	rows := spur.MemorySweep(opts)
+	if *csv {
+		fmt.Print(spur.MemorySweepCSV(rows))
+		return
+	}
+	seen := map[core.WorkloadName]bool{}
+	for _, r := range rows {
+		if !seen[r.Workload] {
+			seen[r.Workload] = true
+			fmt.Println(spur.MemorySweepChart(rows, r.Workload))
+		}
+	}
+	fmt.Println("The paper's prediction: reference bits' benefit declines with memory and")
+	fmt.Println("may become a hindrance — the curves converge as paging disappears, leaving")
+	fmt.Println("only MISS/REF's maintenance overhead.")
+}

@@ -1,0 +1,94 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation section and prints them next to the published values.
+//
+// Usage:
+//
+//	tables                        # everything (Table 4.1 takes minutes)
+//	tables -t 3.3                 # one table: 2.1, 3.1, 3.2, 3.3, 3.4, 3.5, 4.1
+//	tables -t f3.1                # a figure: f3.1, f3.2
+//	tables -refs 4000000 -reps 1  # quicker, coarser runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	spur "repro"
+)
+
+func main() {
+	which := flag.String("t", "all", "table/figure: 2.1, 3.1, 3.2, 3.3, 3.4, 3.5, 4.1, f3.1, f3.2, ext, all")
+	refs := flag.Int64("refs", 0, "references per run (0 = default scale)")
+	reps := flag.Int("reps", 0, "repetitions for Table 4.1 (0 = default)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	paper := flag.Bool("paper", true, "print published values alongside")
+	flag.Parse()
+
+	// "all" covers the paper's tables and figures; the extension sweeps
+	// run only when asked for by name.
+	want := func(name string) bool {
+		if name == "ext" {
+			return *which == "ext"
+		}
+		return *which == "all" || *which == name
+	}
+	printed := false
+	show := func(s string) {
+		fmt.Println(s)
+		printed = true
+	}
+
+	if want("2.1") {
+		show(spur.Table21().String())
+	}
+	if want("3.1") {
+		show(spur.Table31().String())
+	}
+	if want("3.2") {
+		show(spur.Table32().String())
+	}
+	if want("f3.1") {
+		show(spur.Figure31())
+	}
+	if want("f3.2") {
+		show(spur.Figure32() + "\n")
+	}
+
+	var rows33 []spur.Table33Row
+	if want("3.3") || want("3.4") {
+		fmt.Fprintln(os.Stderr, "running Table 3.3 event-frequency sweeps...")
+		rows33 = spur.Table33(spur.Table33Options{Refs: *refs, Seed: *seed})
+	}
+	if want("3.3") {
+		show(spur.RenderTable33(rows33, *paper).String())
+	}
+	if want("3.4") {
+		show(spur.Table34(rows33).String())
+		if *paper {
+			show(spur.PaperTable34().String())
+		}
+	}
+	if want("3.5") {
+		fmt.Fprintln(os.Stderr, "running Table 3.5 Sprite host sweeps...")
+		show(spur.RenderTable35(spur.Table35(*seed), *paper).String())
+	}
+	if want("4.1") {
+		fmt.Fprintln(os.Stderr, "running Table 4.1 reference-bit policy sweeps (this is the long one)...")
+		rows := spur.Table41(spur.Table41Options{Refs: *refs, Reps: *reps, Seed: *seed})
+		show(spur.RenderTable41(rows, *paper).String())
+	}
+	if want("ext") {
+		fmt.Fprintln(os.Stderr, "running extension sweeps (cache size, fault-handler cost)...")
+		show(spur.RenderCacheSweep(spur.CacheSweep(spur.CacheSweepOptions{Refs: *refs, Seed: *seed})).String())
+		if rows33 == nil {
+			rows33 = spur.Table33(spur.Table33Options{Refs: *refs, Seed: *seed, SizesMB: []int{5}})
+		}
+		show(spur.RenderFaultHandlerSweep(spur.FaultHandlerSweep(rows33[0].Events)).String())
+	}
+
+	if !printed {
+		fmt.Fprintf(os.Stderr, "unknown table %q; valid: 2.1 3.1 3.2 3.3 3.4 3.5 4.1 f3.1 f3.2 all\n", *which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,50 @@
+// Multiprocessor runs the shared-memory experiment the paper's design
+// section gestures at: SPUR was built for up to 12 processors, and software
+// PTE updates were chosen partly because atomic hardware updates of shared
+// PTEs are painful. With dirty bits emulated by protection (FAULT), a
+// shared page's first write repairs only the *writer's* cached blocks —
+// every other processor still holds stale read-only copies and takes its
+// own excess fault. This example measures how the excess-fault burden grows
+// with the processor count, and how SPUR's dirty-bit miss (and its PROT
+// generalization) flattens it.
+package main
+
+import (
+	"fmt"
+
+	spur "repro"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+func run(cpus int, pol spur.DirtyPolicy) (nds, stale uint64, busUtil float64) {
+	cfg := spur.DefaultConfig()
+	cfg.MemoryBytes = 32 << 20 // ample memory: isolate the coherence effect
+	cfg.Dirty = pol
+	m := machine.NewMP(cfg, cpus)
+	w := workload.NewSharedWorkload(m, 1, workload.DefaultSharedParams(cpus))
+	refs := cpus * 400_000
+	for i := 0; i < refs; i++ {
+		cpu := i % cpus
+		m.Access(cpu, w.Step(cpu))
+	}
+	ev := m.Events()
+	return ev.Nds, ev.Nstale(), m.Bus.Utilization(m.TotalCycles() / uint64(cpus))
+}
+
+func main() {
+	fmt.Println("Shared-memory multiprocessor: stale cached copies vs processor count")
+	fmt.Println("(512 shared pages, ample memory; counts per run of 400k refs/CPU)")
+	fmt.Printf("\n%4s | %9s %22s %22s %9s\n", "CPUs", "", "FAULT", "SPUR", "bus")
+	fmt.Printf("%4s | %9s %10s %11s %10s %11s %9s\n", "", "N_ds", "excess", "exc/N_ds", "dirty-miss", "dm/N_ds", "util")
+	for _, cpus := range []int{1, 2, 4, 8, 12} {
+		ndsF, excess, busUtil := run(cpus, spur.DirtyFAULT)
+		_, dm, _ := run(cpus, spur.DirtySPUR)
+		fmt.Printf("%4d | %9d %10d %10.2f %11d %10.2f %8.0f%%\n",
+			cpus, ndsF, excess, float64(excess)/float64(ndsF), dm, float64(dm)/float64(ndsF), 100*busUtil)
+	}
+	fmt.Println("\nOn a uniprocessor, excess faults are a small minority (the paper's 19%).")
+	fmt.Println("Each added processor contributes its own stale copies of shared pages, so")
+	fmt.Println("the penalty of protection emulation grows with the machine — the context")
+	fmt.Println("in which SPUR's 25-cycle dirty-bit miss was a defensible hardware choice.")
+}

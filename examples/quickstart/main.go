@@ -1,0 +1,35 @@
+// Quickstart: assemble the SPUR simulator, run the Lisp-compiler workload
+// at 6 MB of memory, and read the paper's headline event frequencies off
+// the performance counters.
+package main
+
+import (
+	"fmt"
+
+	spur "repro"
+)
+
+func main() {
+	cfg := spur.DefaultConfig()
+	cfg.MemoryBytes = 6 << 20  // the paper sweeps 5, 6, 8 MB
+	cfg.TotalRefs = 4_000_000  // a short run; the full scale is 20M
+	cfg.Dirty = spur.DirtySPUR // the prototype's dirty-bit miss scheme
+	cfg.Ref = spur.RefMISS     // the miss-bit approximation
+
+	res := spur.Run(cfg, spur.SLC())
+	ev := res.Events
+
+	fmt.Printf("ran %d references of %s at %d MB\n\n", res.Refs, "SLC", cfg.MemoryBytes>>20)
+	fmt.Printf("necessary dirty faults (N_ds)   %6d\n", ev.Nds)
+	fmt.Printf("zero-fill page faults (N_zfod)  %6d\n", ev.Nzfod)
+	fmt.Printf("dirty-bit misses (N_dm)         %6d\n", ev.Ndm)
+	fmt.Printf("page-ins                        %6d\n", ev.PageIns)
+	fmt.Printf("modelled elapsed time           %6.1f s\n\n", res.ElapsedSeconds)
+
+	fmt.Printf("excess faults are %.0f%% of necessary faults (excluding zero-fills);\n",
+		100*ev.ExcessFractionExcludingZFOD())
+	fmt.Printf("the paper's probability model predicts %.0f%% from the read-before-write mix.\n",
+		100*ev.PredictedExcessFraction())
+	fmt.Println("\nConclusion the numbers support: dirty bits can be emulated with protection —")
+	fmt.Println("the excess faults the emulation adds are a small minority of all dirty faults.")
+}

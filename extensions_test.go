@@ -1,0 +1,117 @@
+package spur
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestCacheSweepShape(t *testing.T) {
+	// A reduced sweep: the smallest and an "approaching infinite" cache.
+	rows := CacheSweep(CacheSweepOptions{
+		CacheSizes: []int{128 << 10, 8 << 20},
+		Refs:       3_000_000,
+	})
+	get := func(cb int, pol RefPolicy) CacheSweepRow {
+		for _, r := range rows {
+			if r.CacheBytes == cb && r.Policy == pol {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%v", cb, pol)
+		return CacheSweepRow{}
+	}
+	// At the prototype's cache size the MISS approximation is essentially
+	// free; at the huge cache it pays more page-ins than REF while taking
+	// fewer reference faults (blocks stop missing, so bits stop getting
+	// set — the paper's degradation argument).
+	small := get(128<<10, RefMISS)
+	big := get(8<<20, RefMISS)
+	if small.RelPageIns > 1.05 {
+		t.Errorf("MISS at 128K already %f of REF", small.RelPageIns)
+	}
+	if big.RelPageIns < small.RelPageIns {
+		t.Errorf("MISS approximation did not degrade with cache size: %.3f -> %.3f",
+			small.RelPageIns, big.RelPageIns)
+	}
+	if big.RefFaults >= get(8<<20, RefTRUE).RefFaults {
+		t.Error("MISS should set fewer bits than REF at a huge cache")
+	}
+	// NOREF never takes reference faults at any size.
+	if get(8<<20, RefNONE).RefFaults != 0 {
+		t.Error("NOREF took reference faults")
+	}
+	if s := RenderCacheSweep(rows).String(); !strings.Contains(s, "8192K") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFaultHandlerSweepInsensitive(t *testing.T) {
+	// Over the published SLC@5 events, FAULT's relative overhead must stay
+	// in a narrow band across a 16x sweep of t_ds — the paper's footnote 2
+	// claim that tuning the handler would not change the conclusions.
+	ev := core.PaperTable33[0].Events()
+	rows := FaultHandlerSweep(ev)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Relative[DirtyFAULT] < 1.0 || r.Relative[DirtyFAULT] > 1.25 {
+			t.Errorf("t_ds=%d: FAULT relative %.2f left the band", r.TdsCycles, r.Relative[DirtyFAULT])
+		}
+		if r.Relative[DirtySPUR] > r.Relative[DirtyFAULT] {
+			t.Errorf("t_ds=%d: SPUR worse than FAULT", r.TdsCycles)
+		}
+	}
+	// WRITE gets relatively worse as faults get cheaper.
+	if rows[0].Relative[DirtyWRITE] <= rows[len(rows)-1].Relative[DirtyWRITE] {
+		t.Error("WRITE relative overhead should fall as t_ds grows")
+	}
+	if s := RenderFaultHandlerSweep(rows).String(); !strings.Contains(s, "t_ds") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestPROTExported(t *testing.T) {
+	if len(AllDirtyPolicies) != 6 || AllDirtyPolicies[5] != DirtyPROT {
+		t.Error("AllDirtyPolicies wrong")
+	}
+	if DirtyPROT.String() != "PROT" {
+		t.Error("PROT name")
+	}
+}
+
+func TestMemorySweep(t *testing.T) {
+	rows := MemorySweep(MemorySweepOptions{
+		SizesMB:   []int{5, 8},
+		Workloads: []core.WorkloadName{core.SLC},
+		Refs:      1_500_000,
+	})
+	if len(rows) != 2*len(RefPolicies) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Page-ins fall with memory for every policy.
+	for _, pol := range RefPolicies {
+		var at5, at8 uint64
+		for _, r := range rows {
+			if r.Policy == pol && r.MemMB == 5 {
+				at5 = r.Result.Events.PageIns
+			}
+			if r.Policy == pol && r.MemMB == 8 {
+				at8 = r.Result.Events.PageIns
+			}
+		}
+		if at8 > at5 {
+			t.Errorf("%v: page-ins rose with memory (%d -> %d)", pol, at5, at8)
+		}
+	}
+	chart := MemorySweepChart(rows, core.SLC)
+	if !strings.Contains(chart, "MISS") || !strings.Contains(chart, "page-ins") {
+		t.Error("chart incomplete")
+	}
+	csv := MemorySweepCSV(rows)
+	if !strings.Contains(csv, "workload,mem_mb") || !strings.Contains(csv, "SLC,5,MISS") {
+		t.Errorf("csv incomplete:\n%s", csv)
+	}
+}

@@ -1,0 +1,123 @@
+// Package addr defines the address types and arithmetic used throughout the
+// SPUR memory-system simulator.
+//
+// SPUR processes see a 32-bit virtual address space. To prevent virtual
+// address synonyms, the operating system forces processes that share memory
+// to use the same *global* virtual address: the hardware maps the top two
+// bits of a process virtual address through one of four per-process segment
+// registers into a 38-bit global virtual space, and the cache is indexed and
+// tagged with global virtual addresses only [Hill86]. This package models
+// that mapping plus the page (4 KB) and cache-block (32 B) arithmetic.
+package addr
+
+import "fmt"
+
+// Architectural constants of the SPUR prototype (Table 2.1 of the paper).
+const (
+	// BlockShift is log2 of the cache block size (32 bytes).
+	BlockShift = 5
+	// BlockBytes is the cache block size in bytes.
+	BlockBytes = 1 << BlockShift
+	// PageShift is log2 of the virtual-memory page size (4 Kbytes).
+	PageShift = 12
+	// PageBytes is the page size in bytes.
+	PageBytes = 1 << PageShift
+	// BlocksPerPage is the number of cache blocks in one page (128).
+	BlocksPerPage = PageBytes / BlockBytes
+
+	// SegmentShift is the bit position where the segment number begins in
+	// a process virtual address: the top two bits select one of four
+	// segment registers, each mapping a 1 GB quadrant.
+	SegmentShift = 30
+	// NumSegments is the number of segment registers per process.
+	NumSegments = 4
+	// SegmentMask extracts the within-segment offset of a process VA.
+	SegmentMask = (1 << SegmentShift) - 1
+
+	// GlobalBits is the width of a global virtual address.
+	GlobalBits = 38
+	// SegmentIDBits is the width of a segment register value: a segment
+	// register holds the top GlobalBits-SegmentShift bits of the global
+	// address.
+	SegmentIDBits = GlobalBits - SegmentShift
+	// MaxSegmentID is the largest valid segment register value.
+	MaxSegmentID = 1<<SegmentIDBits - 1
+)
+
+// VA is a 32-bit process virtual address.
+type VA uint32
+
+// GVA is a 38-bit global virtual address (held in a uint64).
+type GVA uint64
+
+// GVPN is a global virtual page number (GVA >> PageShift).
+type GVPN uint64
+
+// BlockAddr is a global virtual cache-block address (GVA >> BlockShift).
+type BlockAddr uint64
+
+// PFN is a physical frame number.
+type PFN uint32
+
+// SegmentID identifies one 1 GB segment of the global virtual space.
+type SegmentID uint16
+
+// Segment returns the segment-register index (0..3) selected by v.
+func (v VA) Segment() int { return int(v >> SegmentShift) }
+
+// Offset returns the within-segment offset of v.
+func (v VA) Offset() uint32 { return uint32(v) & SegmentMask }
+
+// Page returns the global virtual page number containing g.
+func (g GVA) Page() GVPN { return GVPN(g >> PageShift) }
+
+// Block returns the global virtual block address containing g.
+func (g GVA) Block() BlockAddr { return BlockAddr(g >> BlockShift) }
+
+// PageOffset returns the byte offset of g within its page.
+func (g GVA) PageOffset() uint32 { return uint32(g) & (PageBytes - 1) }
+
+// BlockOffset returns the byte offset of g within its cache block.
+func (g GVA) BlockOffset() uint32 { return uint32(g) & (BlockBytes - 1) }
+
+// String formats the global address in hex.
+func (g GVA) String() string { return fmt.Sprintf("gva:%#x", uint64(g)) }
+
+// Base returns the first global virtual address of the page.
+func (p GVPN) Base() GVA { return GVA(p) << PageShift }
+
+// FirstBlock returns the first block address of the page.
+func (p GVPN) FirstBlock() BlockAddr { return BlockAddr(p) << (PageShift - BlockShift) }
+
+// BlockIndex returns the index (0..BlocksPerPage-1) of block b within its page.
+func (b BlockAddr) BlockIndex() int { return int(b) & (BlocksPerPage - 1) }
+
+// Page returns the page containing block b.
+func (b BlockAddr) Page() GVPN { return GVPN(b >> (PageShift - BlockShift)) }
+
+// GVA returns the first global virtual address of the block.
+func (b BlockAddr) GVA() GVA { return GVA(b) << BlockShift }
+
+// SegmentMap is the per-process set of four segment registers. A zero
+// SegmentMap maps every quadrant to segment 0, which the OS reserves; user
+// processes are given distinct segments by the process substrate.
+type SegmentMap [NumSegments]SegmentID
+
+// Translate maps a process virtual address to its global virtual address by
+// concatenating the selected segment register with the segment offset. This
+// is the hardware's synonym-prevention mapping: it is done on every access
+// and never faults.
+func (m *SegmentMap) Translate(v VA) GVA {
+	return GVA(m[v.Segment()])<<SegmentShift | GVA(v.Offset())
+}
+
+// Global constructs a global virtual address directly from a segment and a
+// within-segment offset. Offsets larger than a segment wrap within it.
+func Global(seg SegmentID, offset uint64) GVA {
+	return GVA(seg)<<SegmentShift | GVA(offset&SegmentMask)
+}
+
+// PageIn returns the n'th page of segment seg.
+func PageIn(seg SegmentID, n int) GVPN {
+	return Global(seg, uint64(n)<<PageShift).Page()
+}

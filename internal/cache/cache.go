@@ -1,0 +1,331 @@
+// Package cache implements SPUR's 128 Kbyte direct-mapped unified
+// virtual-address cache.
+//
+// The cache is indexed and tagged with global virtual addresses, so hits
+// proceed without any translation. Each line (Figure 3.2b of the paper)
+// carries, besides the tag and the Berkeley Ownership coherency state, a
+// *block* dirty bit (the block was modified while in the cache), and cached
+// copies of the page's protection and *page* dirty bit, snapshotted from the
+// PTE when the block was brought in. Those snapshots are the crux of the
+// paper: the PTE can change while blocks are resident, leaving stale cached
+// protection (excess faults under the FAULT policy) or a stale cached page
+// dirty bit (dirty-bit misses under the SPUR policy).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/addr"
+	"repro/internal/coherence"
+	"repro/internal/pte"
+)
+
+// Line is one cache block frame.
+type Line struct {
+	// Addr is the global virtual block address held, valid only when
+	// State.Valid().
+	Addr addr.BlockAddr
+	// State is the Berkeley Ownership coherency state (CS field).
+	State coherence.State
+	// BlockDirty is the block dirty bit B: the block was modified while
+	// in the cache and must be written back on replacement.
+	BlockDirty bool
+	// PageDirty is the cached copy of the page dirty bit P, snapshotted
+	// from the PTE at fill time and possibly stale thereafter.
+	PageDirty bool
+	// Prot is the cached copy of the page protection, snapshotted from
+	// the PTE at fill time and possibly stale thereafter.
+	Prot pte.Prot
+	// IsPTE marks lines holding page-table entries brought in by the
+	// in-cache translation mechanism.
+	IsPTE bool
+	// FilledByWrite records whether the block was brought in by a write
+	// miss (as opposed to a read or instruction fetch). Together with
+	// BlockDirty it classifies N_w-hit vs N_w-miss blocks.
+	FilledByWrite bool
+}
+
+// Valid reports whether the line holds a block.
+func (l *Line) Valid() bool { return l.State.Valid() }
+
+// needsWriteBack reports whether replacing the line requires a memory write.
+func (l *Line) needsWriteBack() bool {
+	return l.State.Valid() && (l.BlockDirty || l.State.Owned())
+}
+
+// Victim describes a block displaced by a fill or flush.
+type Victim struct {
+	Addr addr.BlockAddr
+	// WriteBack is true if the block was dirty/owned and had to be
+	// written to memory.
+	WriteBack bool
+	// ReadThenNeverWritten is true if the block was brought in by a read
+	// and left clean — the common case the FLUSH cost model's "90% of
+	// blocks at 1 cycle" term reflects.
+	ReadThenNeverWritten bool
+	IsPTE                bool
+}
+
+// Stats counts cache-internal events for tests and reports. The experiment
+// harness uses the counters package instead; these stay here so the cache is
+// independently observable.
+type Stats struct {
+	Fills      uint64
+	Evictions  uint64
+	WriteBacks uint64
+	BlockFlush uint64
+	PageFlush  uint64
+}
+
+// Cache is a direct-mapped virtual-address cache.
+type Cache struct {
+	lines     []Line
+	indexMask uint64
+
+	bus  *coherence.Bus
+	port int
+
+	// Stats accumulates internal event counts.
+	Stats Stats
+}
+
+// New returns a cache of the given total size and the architectural 32-byte
+// block size. Size must be a power of two and a multiple of the block size.
+func New(sizeBytes int) *Cache {
+	if sizeBytes <= 0 || sizeBytes%addr.BlockBytes != 0 {
+		panic(fmt.Sprintf("cache: bad size %d", sizeBytes))
+	}
+	n := sizeBytes / addr.BlockBytes
+	if bits.OnesCount(uint(n)) != 1 {
+		panic(fmt.Sprintf("cache: line count %d not a power of two", n))
+	}
+	return &Cache{
+		lines:     make([]Line, n),
+		indexMask: uint64(n - 1),
+		port:      -1,
+	}
+}
+
+// AttachBus connects the cache to a shared bus for coherency snooping.
+func (c *Cache) AttachBus(bus *coherence.Bus) {
+	c.bus = bus
+	c.port = bus.Attach(c)
+}
+
+// Lines returns the number of block frames.
+func (c *Cache) Lines() int { return len(c.lines) }
+
+// SizeBytes returns the cache capacity in bytes.
+func (c *Cache) SizeBytes() int { return len(c.lines) * addr.BlockBytes }
+
+// index returns the line index for block b (direct mapped).
+func (c *Cache) index(b addr.BlockAddr) uint64 { return uint64(b) & c.indexMask }
+
+// Probe returns the line holding block b, or nil on a miss. The returned
+// pointer aliases cache state: callers mutate it to model hardware actions
+// (setting the block dirty bit, refreshing the cached page dirty bit, …).
+func (c *Cache) Probe(b addr.BlockAddr) *Line {
+	l := &c.lines[c.index(b)]
+	if l.State.Valid() && l.Addr == b {
+		return l
+	}
+	return nil
+}
+
+// LineAt exposes the line at a raw index for inspection in tests and dumps.
+func (c *Cache) LineAt(i int) *Line { return &c.lines[i] }
+
+// Fill brings block b into the cache after a miss, snapshotting the page
+// protection and page dirty bit from the PTE, and returns the displaced
+// victim, if any. byWrite records whether a write miss caused the fill;
+// state is the arriving coherency state (UnOwned for reads, OwnedExclusive
+// for writes under Berkeley Ownership).
+func (c *Cache) Fill(b addr.BlockAddr, state coherence.State, prot pte.Prot, pageDirty, isPTE, byWrite bool) (Victim, bool) {
+	l := &c.lines[c.index(b)]
+	var v Victim
+	evicted := false
+	if l.State.Valid() {
+		if l.Addr == b {
+			panic("cache: Fill of resident block")
+		}
+		v = Victim{
+			Addr:                 l.Addr,
+			WriteBack:            l.needsWriteBack(),
+			ReadThenNeverWritten: !l.FilledByWrite && !l.BlockDirty,
+			IsPTE:                l.IsPTE,
+		}
+		evicted = true
+		c.Stats.Evictions++
+		if v.WriteBack {
+			c.Stats.WriteBacks++
+			c.issue(coherence.BusWriteBack, l.Addr)
+		}
+	}
+	*l = Line{
+		Addr:          b,
+		State:         state,
+		BlockDirty:    byWrite,
+		PageDirty:     pageDirty,
+		Prot:          prot,
+		IsPTE:         isPTE,
+		FilledByWrite: byWrite,
+	}
+	c.Stats.Fills++
+	return v, evicted
+}
+
+// FlushBlock removes block b from the cache if present, returning whether it
+// was present and whether it was written back. This is SPUR's single-block
+// flush operation.
+func (c *Cache) FlushBlock(b addr.BlockAddr) (present, writtenBack bool) {
+	l := c.Probe(b)
+	if l == nil {
+		return false, false
+	}
+	c.Stats.BlockFlush++
+	return true, c.invalidateLine(l)
+}
+
+func (c *Cache) invalidateLine(l *Line) bool {
+	wb := l.needsWriteBack()
+	if wb {
+		c.Stats.WriteBacks++
+		c.issue(coherence.BusWriteBack, l.Addr)
+	}
+	*l = Line{}
+	return wb
+}
+
+// FlushResult summarizes a page flush.
+type FlushResult struct {
+	// Checked is the number of line frames examined (always 128: one per
+	// block of the page).
+	Checked int
+	// Flushed is the number of valid lines invalidated.
+	Flushed int
+	// WrittenBack is how many of those required a memory write.
+	WrittenBack int
+	// Collateral is the number of invalidated lines that belonged to
+	// *other* pages — nonzero only for the tag-ignoring flush, whose
+	// collateral damage the paper calls out ("blocks from other pages may
+	// be unnecessarily flushed").
+	Collateral int
+}
+
+// FlushPage removes every block of page p from the cache.
+//
+// If tagCheck is true this is the hypothetical tag-checking flush the paper
+// assumes for its FLUSH-policy comparison: each of the page's 128 line
+// frames is examined and only lines actually belonging to the page are
+// invalidated. If tagCheck is false this is the flush SPUR actually built:
+// the 128 frames are flushed regardless of their virtual address tags,
+// taking resident blocks of other pages with them.
+func (c *Cache) FlushPage(p addr.GVPN, tagCheck bool) FlushResult {
+	c.Stats.PageFlush++
+	res := FlushResult{Checked: addr.BlocksPerPage}
+	first := p.FirstBlock()
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		b := first + addr.BlockAddr(i)
+		l := &c.lines[c.index(b)]
+		if !l.State.Valid() {
+			continue
+		}
+		if tagCheck && l.Addr != b {
+			continue
+		}
+		if l.Addr.Page() != p {
+			res.Collateral++
+		}
+		res.Flushed++
+		if c.invalidateLine(l) {
+			res.WrittenBack++
+		}
+	}
+	return res
+}
+
+// InvalidateAll empties the cache, writing back dirty blocks, and returns
+// the number of write-backs.
+func (c *Cache) InvalidateAll() int {
+	wb := 0
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.State.Valid() && c.invalidateLine(l) {
+			wb++
+		}
+	}
+	return wb
+}
+
+// ResidentBlocks returns how many valid blocks of page p are resident, and
+// how many of those are clean. The FLUSH cost model's "10% of blocks from
+// the page are in cache and are clean" assumption is the paper's estimate of
+// exactly this quantity.
+func (c *Cache) ResidentBlocks(p addr.GVPN) (resident, clean int) {
+	first := p.FirstBlock()
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		b := first + addr.BlockAddr(i)
+		l := &c.lines[c.index(b)]
+		if l.State.Valid() && l.Addr == b {
+			resident++
+			if !l.BlockDirty {
+				clean++
+			}
+		}
+	}
+	return resident, clean
+}
+
+// issue broadcasts a bus transaction if a bus is attached.
+func (c *Cache) issue(op coherence.BusOp, b addr.BlockAddr) (supplied, invalidated bool) {
+	if c.bus == nil {
+		return false, false
+	}
+	return c.bus.Issue(c.port, op, b)
+}
+
+// IssueBus exposes bus transactions for the access engine (read-for-
+// ownership on write misses, invalidations on shared write hits).
+func (c *Cache) IssueBus(op coherence.BusOp, b addr.BlockAddr) (supplied, invalidated bool) {
+	return c.issue(op, b)
+}
+
+// Snoop implements coherence.Snooper: the cache watches other controllers'
+// transactions and updates its matching line per the Berkeley protocol.
+func (c *Cache) Snoop(op coherence.BusOp, b addr.BlockAddr) coherence.SnoopResult {
+	l := c.Probe(b)
+	if l == nil {
+		return coherence.SnoopResult{}
+	}
+	ns, res := coherence.OnSnoop(l.State, op)
+	if ns == coherence.Invalid {
+		// Ownership (and the data) transfers over the bus; no memory
+		// write-back happens here.
+		*l = Line{}
+	} else {
+		l.State = ns
+	}
+	return res
+}
+
+// Utilization returns the fraction of lines currently valid.
+func (c *Cache) Utilization() float64 {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].State.Valid() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.lines))
+}
+
+// Format describes the cache line layout (Figure 3.2b) as text.
+func Format() string {
+	return `SPUR Cache Tag Format (Figure 3.2b)
+ +----------------------+---+-+-+----+
+ |  Virtual Address Tag |PR |P|B| CS |
+ +----------------------+---+-+-+----+
+  PR = Protection (2 bits)       P = Page Dirty Bit (cached copy)
+  B  = Block Dirty Bit           CS = Coherency State (2 bits)`
+}

@@ -1,0 +1,287 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/coherence"
+	"repro/internal/pte"
+)
+
+const testSize = 128 * 1024
+
+func TestNewGeometry(t *testing.T) {
+	c := New(testSize)
+	if c.Lines() != 4096 {
+		t.Errorf("Lines = %d, want 4096", c.Lines())
+	}
+	if c.SizeBytes() != testSize {
+		t.Errorf("SizeBytes = %d", c.SizeBytes())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, bad := range []int{0, -32, 48, 96} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}
+
+func TestProbeMissAndFillHit(t *testing.T) {
+	c := New(testSize)
+	b := addr.BlockAddr(12345)
+	if c.Probe(b) != nil {
+		t.Fatal("probe hit in empty cache")
+	}
+	v, evicted := c.Fill(b, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+	if evicted {
+		t.Fatalf("fill into empty cache evicted %+v", v)
+	}
+	l := c.Probe(b)
+	if l == nil {
+		t.Fatal("probe miss after fill")
+	}
+	if l.Prot != pte.ProtReadOnly || l.PageDirty || l.BlockDirty || l.FilledByWrite || l.IsPTE {
+		t.Errorf("line snapshot wrong: %+v", *l)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(testSize)
+	b1 := addr.BlockAddr(100)
+	b2 := b1 + addr.BlockAddr(c.Lines()) // same index, different tag
+	c.Fill(b1, coherence.OwnedExclusive, pte.ProtReadWrite, true, false, true)
+	v, evicted := c.Fill(b2, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+	if !evicted {
+		t.Fatal("conflicting fill did not evict")
+	}
+	if v.Addr != b1 || !v.WriteBack {
+		t.Errorf("victim = %+v", v)
+	}
+	if v.ReadThenNeverWritten {
+		t.Error("write-filled victim classified as read-then-never-written")
+	}
+	if c.Probe(b1) != nil {
+		t.Error("evicted block still probes")
+	}
+	if c.Probe(b2) == nil {
+		t.Error("new block missing")
+	}
+	if c.Stats.WriteBacks != 1 || c.Stats.Evictions != 1 || c.Stats.Fills != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestFillResidentPanics(t *testing.T) {
+	c := New(testSize)
+	b := addr.BlockAddr(5)
+	c.Fill(b, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("double fill did not panic")
+		}
+	}()
+	c.Fill(b, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+}
+
+func TestVictimReadThenNeverWritten(t *testing.T) {
+	c := New(testSize)
+	b := addr.BlockAddr(7)
+	conflict := b + addr.BlockAddr(c.Lines())
+	c.Fill(b, coherence.UnOwned, pte.ProtReadWrite, false, false, false)
+	v, _ := c.Fill(conflict, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+	if !v.ReadThenNeverWritten || v.WriteBack {
+		t.Errorf("clean read-filled victim: %+v", v)
+	}
+	// Now a read-filled block that gets written (N_w-hit shape).
+	c.Fill(b, coherence.UnOwned, pte.ProtReadWrite, false, false, false)
+	c.Probe(b).BlockDirty = true
+	v, _ = c.Fill(conflict, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+	if v.ReadThenNeverWritten || !v.WriteBack {
+		t.Errorf("written read-filled victim: %+v", v)
+	}
+}
+
+func TestFlushBlock(t *testing.T) {
+	c := New(testSize)
+	b := addr.BlockAddr(99)
+	if present, _ := c.FlushBlock(b); present {
+		t.Error("flush of absent block reported present")
+	}
+	c.Fill(b, coherence.OwnedExclusive, pte.ProtReadWrite, true, false, true)
+	present, wb := c.FlushBlock(b)
+	if !present || !wb {
+		t.Errorf("flush: present=%v wb=%v", present, wb)
+	}
+	if c.Probe(b) != nil {
+		t.Error("block survived flush")
+	}
+}
+
+func fillPage(c *Cache, p addr.GVPN, nblocks int, dirty bool) {
+	st := coherence.UnOwned
+	if dirty {
+		st = coherence.OwnedExclusive
+	}
+	for i := 0; i < nblocks; i++ {
+		c.Fill(p.FirstBlock()+addr.BlockAddr(i), st, pte.ProtReadWrite, false, false, dirty)
+	}
+}
+
+func TestFlushPageTagChecking(t *testing.T) {
+	c := New(testSize)
+	p := addr.GVPN(3)
+	// A conflicting page that maps to the same line frames: 4096 lines /
+	// 128 blocks-per-page = 32 pages of cache, so p+32 conflicts exactly.
+	q := p + addr.GVPN(c.Lines()/addr.BlocksPerPage)
+	fillPage(c, p, 10, false)
+	fillPage(c, q, addr.BlocksPerPage, true) // q evicts p entirely
+	fillPage(c, p, 10, true)                 // p's first 10 blocks displace q's
+
+	res := c.FlushPage(p, true)
+	if res.Checked != addr.BlocksPerPage {
+		t.Errorf("Checked = %d", res.Checked)
+	}
+	if res.Flushed != 10 || res.WrittenBack != 10 || res.Collateral != 0 {
+		t.Errorf("tag-checking flush: %+v", res)
+	}
+	if rem, _ := c.ResidentBlocks(q); rem != addr.BlocksPerPage-10 {
+		t.Errorf("other page lost blocks: %d resident", rem)
+	}
+}
+
+func TestFlushPageTagIgnoringCollateral(t *testing.T) {
+	c := New(testSize)
+	p := addr.GVPN(3)
+	q := p + addr.GVPN(c.Lines()/addr.BlocksPerPage)
+	fillPage(c, q, addr.BlocksPerPage, false) // q fully resident in p's frames
+	res := c.FlushPage(p, false)
+	if res.Flushed != addr.BlocksPerPage || res.Collateral != addr.BlocksPerPage {
+		t.Errorf("tag-ignoring flush: %+v", res)
+	}
+	if rem, _ := c.ResidentBlocks(q); rem != 0 {
+		t.Errorf("collateral page survived: %d resident", rem)
+	}
+}
+
+func TestResidentBlocks(t *testing.T) {
+	c := New(testSize)
+	p := addr.GVPN(5)
+	fillPage(c, p, 8, false)
+	c.Probe(p.FirstBlock()).BlockDirty = true
+	res, clean := c.ResidentBlocks(p)
+	if res != 8 || clean != 7 {
+		t.Errorf("ResidentBlocks = %d,%d", res, clean)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(testSize)
+	fillPage(c, 1, 20, true)
+	fillPage(c, 2, 20, false)
+	if wb := c.InvalidateAll(); wb != 20 {
+		t.Errorf("InvalidateAll wrote back %d, want 20", wb)
+	}
+	if c.Utilization() != 0 {
+		t.Error("cache not empty")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	c := New(testSize)
+	if c.Utilization() != 0 {
+		t.Error("fresh cache not empty")
+	}
+	fillPage(c, 1, addr.BlocksPerPage, false)
+	want := float64(addr.BlocksPerPage) / float64(c.Lines())
+	if got := c.Utilization(); got != want {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestIndexMappingProperty(t *testing.T) {
+	// Property: a fill always lands where a probe of the same block looks,
+	// and distinct blocks with the same index conflict.
+	c := New(4096) // tiny 128-line cache for faster collisions
+	f := func(raw uint64) bool {
+		b := addr.BlockAddr(raw % (1 << 33))
+		c.InvalidateAll()
+		c.Fill(b, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+		if c.Probe(b) == nil {
+			return false
+		}
+		conflict := b + addr.BlockAddr(c.Lines())
+		c.Fill(conflict, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+		return c.Probe(b) == nil && c.Probe(conflict) != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnoopInvalidatesAndTransfersOwnership(t *testing.T) {
+	bus := coherence.NewBus()
+	c1, c2 := New(testSize), New(testSize)
+	c1.AttachBus(bus)
+	c2.AttachBus(bus)
+	b := addr.BlockAddr(42)
+
+	// c1 owns the block exclusively.
+	c1.Fill(b, coherence.OwnedExclusive, pte.ProtReadWrite, false, false, true)
+	// c2 read-misses: issues BusRead; c1 supplies and degrades to OwnedShared.
+	supplied, _ := c2.IssueBus(coherence.BusRead, b)
+	if !supplied {
+		t.Fatal("owner did not supply on BusRead")
+	}
+	if c1.Probe(b).State != coherence.OwnedShared {
+		t.Errorf("owner state = %v", c1.Probe(b).State)
+	}
+	c2.Fill(b, coherence.UnOwned, pte.ProtReadWrite, false, false, false)
+
+	// c2 writes: BusInval drops c1's copy without a memory write-back.
+	wbBefore := c1.Stats.WriteBacks
+	c2.IssueBus(coherence.BusInval, b)
+	if c1.Probe(b) != nil {
+		t.Error("BusInval left stale copy in c1")
+	}
+	if c1.Stats.WriteBacks != wbBefore {
+		t.Error("snoop invalidation wrote back (ownership moves on the bus, not through memory)")
+	}
+	l := c2.Probe(b)
+	l.State = coherence.OwnedExclusive
+	l.BlockDirty = true
+
+	// Eviction of the owned block in c2 now writes back.
+	conflict := b + addr.BlockAddr(c2.Lines())
+	v, _ := c2.Fill(conflict, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
+	if !v.WriteBack {
+		t.Error("owned block eviction did not write back")
+	}
+	if bus.Transactions[coherence.BusWriteBack] != 1 {
+		t.Errorf("bus write-backs = %d", bus.Transactions[coherence.BusWriteBack])
+	}
+}
+
+func TestSnoopMissIsNoop(t *testing.T) {
+	c := New(testSize)
+	if r := c.Snoop(coherence.BusReadOwn, 7); r.Supplied || r.Invalidated {
+		t.Errorf("snoop miss acted: %+v", r)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := Format()
+	for _, f := range []string{"PR", "P", "B", "CS", "Virtual Address Tag"} {
+		if !strings.Contains(s, f) {
+			t.Errorf("Format missing %q", f)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/coherence"
+	"repro/internal/pte"
+)
+
+// modelCache is an obviously correct reference model of a direct-mapped
+// cache: a map from line index to resident block. The fuzz drives the real
+// cache and the model with the same operation stream and compares every
+// observable after every step.
+type modelCache struct {
+	lines int
+	held  map[int]addr.BlockAddr
+	dirty map[addr.BlockAddr]bool
+}
+
+func newModel(lines int) *modelCache {
+	return &modelCache{lines: lines, held: map[int]addr.BlockAddr{}, dirty: map[addr.BlockAddr]bool{}}
+}
+
+func (m *modelCache) index(b addr.BlockAddr) int { return int(uint64(b) % uint64(m.lines)) }
+
+func (m *modelCache) probe(b addr.BlockAddr) bool {
+	got, ok := m.held[m.index(b)]
+	return ok && got == b
+}
+
+func (m *modelCache) fill(b addr.BlockAddr, byWrite bool) (victim addr.BlockAddr, evicted, writeback bool) {
+	i := m.index(b)
+	if old, ok := m.held[i]; ok {
+		evicted = true
+		victim = old
+		writeback = m.dirty[old]
+		delete(m.dirty, old)
+	}
+	m.held[i] = b
+	if byWrite {
+		m.dirty[b] = true
+	}
+	return victim, evicted, writeback
+}
+
+func (m *modelCache) flushBlock(b addr.BlockAddr) (present, wb bool) {
+	if !m.probe(b) {
+		return false, false
+	}
+	delete(m.held, m.index(b))
+	wb = m.dirty[b]
+	delete(m.dirty, b)
+	return true, wb
+}
+
+func (m *modelCache) flushPage(p addr.GVPN) {
+	first := p.FirstBlock()
+	for i := 0; i < addr.BlocksPerPage; i++ {
+		b := first + addr.BlockAddr(i)
+		if m.probe(b) {
+			m.flushBlock(b)
+		}
+	}
+}
+
+// splitmix for the op stream.
+func next(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestCacheAgainstReferenceModel drives 200k random operations through the
+// real cache and the model, comparing probes, victims, and write-backs.
+func TestCacheAgainstReferenceModel(t *testing.T) {
+	const size = 4096 // 128 lines: frequent conflicts
+	c := New(size)
+	m := newModel(c.Lines())
+	state := uint64(12345)
+
+	blockUniverse := func() addr.BlockAddr {
+		// 512 blocks over 4 pages' worth of address space across two
+		// "segments" so tags collide on indexes regularly.
+		r := next(&state)
+		seg := addr.BlockAddr(r & 1)
+		return seg<<25 | addr.BlockAddr((r>>1)%512)
+	}
+
+	for step := 0; step < 200000; step++ {
+		b := blockUniverse()
+		switch next(&state) % 10 {
+		case 0, 1, 2, 3: // probe + maybe fill
+			real := c.Probe(b)
+			if (real != nil) != m.probe(b) {
+				t.Fatalf("step %d: probe mismatch for %#x: real=%v model=%v",
+					step, uint64(b), real != nil, m.probe(b))
+			}
+			if real == nil {
+				byWrite := next(&state)%2 == 0
+				st := coherence.UnOwned
+				if byWrite {
+					st = coherence.OwnedExclusive
+				}
+				v, evicted := c.Fill(b, st, pte.ProtReadWrite, false, false, byWrite)
+				mv, mev, mwb := m.fill(b, byWrite)
+				if evicted != mev {
+					t.Fatalf("step %d: eviction mismatch", step)
+				}
+				if evicted && (v.Addr != mv || v.WriteBack != mwb) {
+					t.Fatalf("step %d: victim mismatch real={%#x wb=%v} model={%#x wb=%v}",
+						step, uint64(v.Addr), v.WriteBack, uint64(mv), mwb)
+				}
+			}
+		case 4: // write hit marks dirty
+			if l := c.Probe(b); l != nil {
+				l.BlockDirty = true
+				l.State = coherence.OwnedExclusive
+				m.dirty[b] = true
+			}
+		case 5: // block flush
+			p, wb := c.FlushBlock(b)
+			mp, mwb := m.flushBlock(b)
+			if p != mp || wb != mwb {
+				t.Fatalf("step %d: flush mismatch (%v,%v) vs (%v,%v)", step, p, wb, mp, mwb)
+			}
+		case 6: // tag-checking page flush
+			page := b.Page()
+			c.FlushPage(page, true)
+			m.flushPage(page)
+		default: // probe only
+			real := c.Probe(b)
+			if (real != nil) != m.probe(b) {
+				t.Fatalf("step %d: probe-only mismatch for %#x", step, uint64(b))
+			}
+		}
+	}
+
+	// Final sweep: every valid line agrees with the model.
+	for i := 0; i < c.Lines(); i++ {
+		l := c.LineAt(i)
+		mb, ok := m.held[i]
+		if l.Valid() != ok {
+			t.Fatalf("line %d: validity mismatch", i)
+		}
+		if ok && l.Addr != mb {
+			t.Fatalf("line %d: holds %#x, model %#x", i, uint64(l.Addr), uint64(mb))
+		}
+		if ok && l.BlockDirty != m.dirty[mb] {
+			t.Fatalf("line %d: dirty mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package coherence
+
+import "repro/internal/addr"
+
+// Snooper is anything attached to the shared bus that watches transactions —
+// in practice, a cache controller. The issuing controller is excluded from
+// the broadcast of its own transaction.
+type Snooper interface {
+	// Snoop processes a bus transaction for block b and reports what the
+	// snooper did.
+	Snoop(op BusOp, b addr.BlockAddr) SnoopResult
+}
+
+// Bus is the single shared backplane connecting up to twelve processor
+// boards in a SPUR workstation. It serializes transactions (the simulator is
+// single-threaded per machine, so serialization is structural), lets each
+// attached controller snoop the others' traffic, and accounts its occupancy
+// — the quantity SPUR's 128 KB caches exist to keep low ("a 128 Kilobyte
+// direct-mapped unified cache reduces the load each processor demands of
+// the single shared bus").
+type Bus struct {
+	snoopers []Snooper
+
+	// Transactions counts bus transactions by operation.
+	Transactions [4]uint64
+
+	// BusyCycles accumulates backplane occupancy: data-carrying
+	// transactions hold the bus for a block transfer, invalidations for
+	// one address cycle.
+	BusyCycles uint64
+
+	// BlockCycles is the occupancy of one data-carrying transaction
+	// (default 10: 3 cycles to the first word + 7 at 1 cycle).
+	BlockCycles uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{BlockCycles: 10} }
+
+// Attach adds a snooper and returns its port number, which the snooper
+// passes back when issuing transactions so it does not snoop itself.
+func (bus *Bus) Attach(s Snooper) int {
+	bus.snoopers = append(bus.snoopers, s)
+	return len(bus.snoopers) - 1
+}
+
+// Ports returns the number of attached snoopers.
+func (bus *Bus) Ports() int { return len(bus.snoopers) }
+
+// Utilization returns the fraction of the given cycle span the bus was
+// busy. Above ~1.0 the configuration is bus-saturated: the single backplane
+// cannot carry the traffic the processors generate, the scaling wall SPUR's
+// large caches push out.
+func (bus *Bus) Utilization(totalCycles uint64) float64 {
+	if totalCycles == 0 {
+		return 0
+	}
+	return float64(bus.BusyCycles) / float64(totalCycles)
+}
+
+// Issue broadcasts a transaction from the given port to every other
+// snooper, returning true if some other cache supplied the data (so memory
+// was not read) and true if any copy elsewhere was invalidated.
+func (bus *Bus) Issue(from int, op BusOp, b addr.BlockAddr) (supplied, invalidated bool) {
+	bus.Transactions[op]++
+	if op == BusInval {
+		bus.BusyCycles++
+	} else {
+		bus.BusyCycles += bus.BlockCycles
+	}
+	for i, s := range bus.snoopers {
+		if i == from {
+			continue
+		}
+		r := s.Snoop(op, b)
+		supplied = supplied || r.Supplied
+		invalidated = invalidated || r.Invalidated
+	}
+	return supplied, invalidated
+}

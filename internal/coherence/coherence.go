@@ -1,0 +1,150 @@
+// Package coherence implements the Berkeley Ownership cache coherency
+// protocol [Katz85] used by the SPUR cache controller.
+//
+// Berkeley Ownership is a write-back invalidation protocol with four states.
+// Memory is not updated when an owning cache modifies a block; the owner is
+// responsible for supplying the block to other caches and for writing it
+// back on replacement. The prototype measured in the paper is a
+// uniprocessor, but the protocol machinery is part of the cache controller
+// (and of its main PLA, whose 193-vs-207 product-term comparison the paper
+// cites), so the simulator carries it in full: multi-cache configurations
+// snoop a shared bus, and the uniprocessor runs are simply the one-cache
+// special case.
+package coherence
+
+import "fmt"
+
+// State is the two-bit coherency state stored in each cache line
+// (the CS field of Figure 3.2b).
+type State uint8
+
+const (
+	// Invalid: the line holds no block.
+	Invalid State = iota
+	// UnOwned: the block is valid and consistent with memory; other
+	// caches may also hold it.
+	UnOwned
+	// OwnedShared: this cache owns the block (memory is stale) and other
+	// caches may hold read copies.
+	OwnedShared
+	// OwnedExclusive: this cache owns the block and no other cache holds
+	// it; writes proceed without bus traffic.
+	OwnedExclusive
+)
+
+// String returns the conventional name of the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case UnOwned:
+		return "UnOwned"
+	case OwnedShared:
+		return "OwnedShared"
+	case OwnedExclusive:
+		return "OwnedExclusive"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the line holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// Owned reports whether this cache is responsible for the block (memory is
+// stale and the block must be written back on replacement).
+func (s State) Owned() bool { return s == OwnedShared || s == OwnedExclusive }
+
+// BusOp is a transaction broadcast on the shared bus.
+type BusOp uint8
+
+const (
+	// BusRead requests a copy of a block for reading.
+	BusRead BusOp = iota
+	// BusReadOwn requests a block for writing (read-for-ownership);
+	// all other copies are invalidated.
+	BusReadOwn
+	// BusInval invalidates other copies without transferring data
+	// (a write hit on a shared block).
+	BusInval
+	// BusWriteBack writes an owned block back to memory on replacement.
+	BusWriteBack
+)
+
+// String returns the transaction mnemonic.
+func (op BusOp) String() string {
+	switch op {
+	case BusRead:
+		return "BusRead"
+	case BusReadOwn:
+		return "BusReadOwn"
+	case BusInval:
+		return "BusInval"
+	case BusWriteBack:
+		return "BusWriteBack"
+	}
+	return fmt.Sprintf("BusOp(%d)", uint8(op))
+}
+
+// OnLocalRead returns the state after a processor read and the bus
+// transaction required, if any. A read hit never needs the bus.
+func OnLocalRead(s State) (State, bool) {
+	if s.Valid() {
+		return s, false
+	}
+	return UnOwned, true // read miss: BusRead, arrive UnOwned
+}
+
+// OnLocalWrite returns the state after a processor write and the bus
+// transaction required, if any.
+func OnLocalWrite(s State) (State, BusOp, bool) {
+	switch s {
+	case OwnedExclusive:
+		return OwnedExclusive, 0, false
+	case OwnedShared, UnOwned:
+		// Must invalidate other copies before modifying.
+		return OwnedExclusive, BusInval, true
+	default: // Invalid: write miss
+		return OwnedExclusive, BusReadOwn, true
+	}
+}
+
+// SnoopResult describes what a snooping cache did in response to a bus
+// transaction that matched one of its lines.
+type SnoopResult struct {
+	// Supplied is true if this cache owned the block and supplied the
+	// data (memory was stale).
+	Supplied bool
+	// Invalidated is true if this cache dropped its copy.
+	Invalidated bool
+}
+
+// OnSnoop returns the state of a matching line after snooping op, plus what
+// the cache did. Transactions issued by this cache itself must not be
+// snooped by it.
+func OnSnoop(s State, op BusOp) (State, SnoopResult) {
+	if s == Invalid {
+		return Invalid, SnoopResult{}
+	}
+	switch op {
+	case BusRead:
+		switch s {
+		case OwnedExclusive:
+			// Another cache wants to read: supply data, keep ownership,
+			// but the block is now shared.
+			return OwnedShared, SnoopResult{Supplied: true}
+		case OwnedShared:
+			return OwnedShared, SnoopResult{Supplied: true}
+		default:
+			return UnOwned, SnoopResult{}
+		}
+	case BusReadOwn:
+		sup := s.Owned()
+		return Invalid, SnoopResult{Supplied: sup, Invalidated: true}
+	case BusInval:
+		return Invalid, SnoopResult{Invalidated: true}
+	case BusWriteBack:
+		// Write-backs carry no coherence action for other caches.
+		return s, SnoopResult{}
+	}
+	return s, SnoopResult{}
+}

@@ -1,0 +1,250 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestStatePredicates(t *testing.T) {
+	cases := []struct {
+		s            State
+		valid, owned bool
+	}{
+		{Invalid, false, false},
+		{UnOwned, true, false},
+		{OwnedShared, true, true},
+		{OwnedExclusive, true, true},
+	}
+	for _, c := range cases {
+		if c.s.Valid() != c.valid || c.s.Owned() != c.owned {
+			t.Errorf("%v: Valid=%v Owned=%v", c.s, c.s.Valid(), c.s.Owned())
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	for _, s := range []State{Invalid, UnOwned, OwnedShared, OwnedExclusive} {
+		if strings.Contains(s.String(), "State(") {
+			t.Errorf("missing name for %d", s)
+		}
+	}
+	for _, op := range []BusOp{BusRead, BusReadOwn, BusInval, BusWriteBack} {
+		if strings.Contains(op.String(), "BusOp(") {
+			t.Errorf("missing name for op %d", op)
+		}
+	}
+	if !strings.Contains(State(9).String(), "9") || !strings.Contains(BusOp(9).String(), "9") {
+		t.Error("fallback strings broken")
+	}
+}
+
+func TestOnLocalRead(t *testing.T) {
+	for _, s := range []State{UnOwned, OwnedShared, OwnedExclusive} {
+		ns, bus := OnLocalRead(s)
+		if ns != s || bus {
+			t.Errorf("read hit on %v: got %v bus=%v", s, ns, bus)
+		}
+	}
+	ns, bus := OnLocalRead(Invalid)
+	if ns != UnOwned || !bus {
+		t.Errorf("read miss: got %v bus=%v", ns, bus)
+	}
+}
+
+func TestOnLocalWrite(t *testing.T) {
+	cases := []struct {
+		s    State
+		ns   State
+		op   BusOp
+		need bool
+	}{
+		{OwnedExclusive, OwnedExclusive, 0, false},
+		{OwnedShared, OwnedExclusive, BusInval, true},
+		{UnOwned, OwnedExclusive, BusInval, true},
+		{Invalid, OwnedExclusive, BusReadOwn, true},
+	}
+	for _, c := range cases {
+		ns, op, need := OnLocalWrite(c.s)
+		if ns != c.ns || need != c.need || (need && op != c.op) {
+			t.Errorf("write on %v: got (%v,%v,%v)", c.s, ns, op, need)
+		}
+	}
+}
+
+func TestOnSnoopTransitions(t *testing.T) {
+	// BusRead: owners supply and become/stay OwnedShared.
+	ns, r := OnSnoop(OwnedExclusive, BusRead)
+	if ns != OwnedShared || !r.Supplied || r.Invalidated {
+		t.Errorf("OE snoop BusRead: %v %+v", ns, r)
+	}
+	ns, r = OnSnoop(OwnedShared, BusRead)
+	if ns != OwnedShared || !r.Supplied {
+		t.Errorf("OS snoop BusRead: %v %+v", ns, r)
+	}
+	ns, r = OnSnoop(UnOwned, BusRead)
+	if ns != UnOwned || r.Supplied || r.Invalidated {
+		t.Errorf("UO snoop BusRead: %v %+v", ns, r)
+	}
+	// BusReadOwn invalidates everyone; owners supply.
+	ns, r = OnSnoop(OwnedShared, BusReadOwn)
+	if ns != Invalid || !r.Supplied || !r.Invalidated {
+		t.Errorf("OS snoop BusReadOwn: %v %+v", ns, r)
+	}
+	ns, r = OnSnoop(UnOwned, BusReadOwn)
+	if ns != Invalid || r.Supplied || !r.Invalidated {
+		t.Errorf("UO snoop BusReadOwn: %v %+v", ns, r)
+	}
+	// BusInval drops the copy without supplying.
+	ns, r = OnSnoop(OwnedShared, BusInval)
+	if ns != Invalid || r.Supplied || !r.Invalidated {
+		t.Errorf("OS snoop BusInval: %v %+v", ns, r)
+	}
+	// Invalid lines ignore everything.
+	ns, r = OnSnoop(Invalid, BusReadOwn)
+	if ns != Invalid || r.Supplied || r.Invalidated {
+		t.Errorf("Invalid snoop: %v %+v", ns, r)
+	}
+	// Write-backs don't disturb other caches.
+	ns, r = OnSnoop(UnOwned, BusWriteBack)
+	if ns != UnOwned || r.Supplied || r.Invalidated {
+		t.Errorf("UO snoop BusWriteBack: %v %+v", ns, r)
+	}
+}
+
+// protocolSim runs a tiny multi-cache single-block model driven entirely by
+// the pure transition functions, checking the protocol's global invariants
+// after every step: at most one owner, and an OwnedExclusive copy is the
+// only valid copy anywhere.
+func protocolSim(t *testing.T, actors int, script []uint16) {
+	states := make([]State, actors)
+	check := func(step int) {
+		owners, valid, excl := 0, 0, 0
+		for _, s := range states {
+			if s.Owned() {
+				owners++
+			}
+			if s.Valid() {
+				valid++
+			}
+			if s == OwnedExclusive {
+				excl++
+			}
+		}
+		if owners > 1 {
+			t.Fatalf("step %d: %d owners (%v)", step, owners, states)
+		}
+		if excl > 0 && valid > 1 {
+			t.Fatalf("step %d: exclusive copy coexists with %d valid copies (%v)", step, valid, states)
+		}
+	}
+	for step, mv := range script {
+		who := int(mv) % actors
+		isWrite := (mv>>8)&1 == 1
+		var op BusOp
+		need := false
+		if isWrite {
+			states[who], op, need = OnLocalWrite(states[who])
+		} else {
+			var bus bool
+			states[who], bus = OnLocalRead(states[who])
+			op, need = BusRead, bus
+		}
+		if need {
+			for i := range states {
+				if i != who {
+					states[i], _ = OnSnoop(states[i], op)
+				}
+			}
+		}
+		check(step)
+	}
+}
+
+func TestProtocolInvariantsDirected(t *testing.T) {
+	// Two caches ping-ponging a block through every transition.
+	protocolSim(t, 2, []uint16{
+		0x000,        // A reads -> UnOwned
+		0x001,        // B reads -> both UnOwned
+		0x100,        // A writes -> A OwnedExclusive, B Invalid
+		0x001,        // B reads  -> A OwnedShared (supplies), B UnOwned
+		0x101,        // B writes -> B OwnedExclusive, A Invalid
+		0x100, 0x101, // write ping-pong
+	})
+}
+
+func TestProtocolInvariantsRandom(t *testing.T) {
+	f := func(script []uint16) bool {
+		protocolSim(t, 3, script)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type recordingSnooper struct {
+	state State
+	ops   []BusOp
+}
+
+func (r *recordingSnooper) Snoop(op BusOp, b addr.BlockAddr) SnoopResult {
+	r.ops = append(r.ops, op)
+	var res SnoopResult
+	r.state, res = OnSnoop(r.state, op)
+	return res
+}
+
+func TestBusExcludesIssuer(t *testing.T) {
+	bus := NewBus()
+	a := &recordingSnooper{state: OwnedExclusive}
+	b := &recordingSnooper{state: Invalid}
+	pa := bus.Attach(a)
+	if bus.Attach(b) == pa {
+		t.Fatal("duplicate port")
+	}
+	if bus.Ports() != 2 {
+		t.Fatalf("Ports = %d", bus.Ports())
+	}
+	supplied, _ := bus.Issue(pa, BusRead, 7)
+	if supplied {
+		t.Error("issuer's own copy supplied data to itself")
+	}
+	if len(a.ops) != 0 {
+		t.Error("issuer snooped its own transaction")
+	}
+	if len(b.ops) != 1 {
+		t.Error("other cache did not snoop")
+	}
+	// Now B reads while A owns: A supplies.
+	pb := 1
+	supplied, _ = bus.Issue(pb, BusRead, 7)
+	if !supplied {
+		t.Error("owner did not supply")
+	}
+	if a.state != OwnedShared {
+		t.Errorf("owner state = %v", a.state)
+	}
+	if bus.Transactions[BusRead] != 2 {
+		t.Errorf("transaction count = %d", bus.Transactions[BusRead])
+	}
+}
+
+func TestBusOccupancy(t *testing.T) {
+	bus := NewBus()
+	bus.Attach(&recordingSnooper{})
+	bus.Issue(0, BusRead, 1)      // block transfer: 10 cycles
+	bus.Issue(0, BusInval, 1)     // address cycle: 1
+	bus.Issue(0, BusWriteBack, 2) // block transfer: 10
+	if bus.BusyCycles != 21 {
+		t.Errorf("BusyCycles = %d, want 21", bus.BusyCycles)
+	}
+	if u := bus.Utilization(42); u != 0.5 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if bus.Utilization(0) != 0 {
+		t.Error("zero-span utilization")
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"repro/internal/counters"
+	"repro/internal/vm"
+)
+
+// Events is the paper's event-frequency vocabulary (Table 3.3 and the
+// Section 3.2 model parameters), extracted from the performance counters
+// and pager statistics of one run.
+type Events struct {
+	// Nds is the number of necessary dirty-bit faults.
+	Nds uint64
+	// Nzfod is the number of zero-filled page faults.
+	Nzfod uint64
+	// Nef is the number of previously cached blocks that cause excess
+	// faults (measured directly when running the FAULT policy).
+	Nef uint64
+	// Ndm is the number of dirty-bit misses (measured when running the
+	// SPUR policy). The paper's Table 3.3 reports N_ef = N_dm: the two
+	// mechanisms fire on exactly the same blocks.
+	Ndm uint64
+	// NwHit is the number of blocks brought into the cache by a read
+	// that are later modified.
+	NwHit uint64
+	// NwMiss is the number of blocks brought into the cache by a write
+	// miss.
+	NwMiss uint64
+
+	// PageIns and PageOuts are backing-store transfers.
+	PageIns  uint64
+	PageOuts uint64
+	// RefFaults counts reference-bit faults; RefClears counts daemon
+	// clears; PageFlushes counts kernel page flushes.
+	RefFaults   uint64
+	RefClears   uint64
+	PageFlushes uint64
+
+	// Refs is the total number of processor references; Misses the total
+	// cache misses (all types).
+	Refs   uint64
+	Misses uint64
+
+	// ElapsedSeconds is the modelled wall-clock time of the run.
+	ElapsedSeconds float64
+}
+
+// EventsFrom extracts the event vocabulary from a run's counters, pager
+// statistics, and elapsed time.
+func EventsFrom(ctr *counters.Set, st vm.Stats, elapsed float64) Events {
+	return Events{
+		Nds:   ctr.Count(counters.EvDirtyFault),
+		Nzfod: ctr.Count(counters.EvZeroFillFault),
+		Nef:   ctr.Count(counters.EvExcessFault),
+		// The SPUR and PROT mechanisms fire on the same stale blocks;
+		// whichever ran, its refresh count is N_dm.
+		Ndm:            ctr.Count(counters.EvDirtyBitMiss) + ctr.Count(counters.EvProtBitMiss),
+		NwHit:          ctr.Count(counters.EvWriteHitBlock),
+		NwMiss:         ctr.Count(counters.EvWriteMissBlock),
+		PageIns:        st.PageIns,
+		PageOuts:       st.PageOuts,
+		RefFaults:      ctr.Count(counters.EvRefFault),
+		RefClears:      ctr.Count(counters.EvRefClear),
+		PageFlushes:    ctr.Count(counters.EvPageFlush),
+		Refs:           ctr.Count(counters.EvIFetch) + ctr.Count(counters.EvRead) + ctr.Count(counters.EvWrite),
+		Misses:         ctr.Count(counters.EvIFetchMiss) + ctr.Count(counters.EvReadMiss) + ctr.Count(counters.EvWriteMiss),
+		ElapsedSeconds: elapsed,
+	}
+}
+
+// Nstale returns the measured count of stale-block writes, whichever
+// mechanism observed them (N_ef under FAULT, N_dm under SPUR).
+func (ev Events) Nstale() uint64 {
+	if ev.Ndm > ev.Nef {
+		return ev.Ndm
+	}
+	return ev.Nef
+}
+
+// NecessaryExcludingZFOD returns N_ds - N_zfod, the intrinsic necessary
+// faults the Table 3.4 models use (zero-fill pages are excluded because
+// their faults are an artifact of Sprite's zero-fill convention, not of the
+// dirty-bit mechanism).
+func (ev Events) NecessaryExcludingZFOD() uint64 {
+	if ev.Nzfod > ev.Nds {
+		return 0
+	}
+	return ev.Nds - ev.Nzfod
+}
+
+// ExcessFraction returns N_ef / N_ds, the headline ratio ("these account
+// for only 19% of the total faults, on average").
+func (ev Events) ExcessFraction() float64 {
+	if ev.Nds == 0 {
+		return 0
+	}
+	return float64(ev.Nstale()) / float64(ev.Nds)
+}
+
+// ExcessFractionExcludingZFOD returns N_ef / (N_ds - N_zfod), the paper's
+// 15%-34% range.
+func (ev Events) ExcessFractionExcludingZFOD() float64 {
+	n := ev.NecessaryExcludingZFOD()
+	if n == 0 {
+		return 0
+	}
+	return float64(ev.Nstale()) / float64(n)
+}
+
+// ReadBeforeWriteFraction returns N_w-hit / (N_w-hit + N_w-miss): the
+// fraction of modified blocks read before they are written (~one fifth in
+// the paper).
+func (ev Events) ReadBeforeWriteFraction() float64 {
+	tot := ev.NwHit + ev.NwMiss
+	if tot == 0 {
+		return 0
+	}
+	return float64(ev.NwHit) / float64(tot)
+}
+
+// PredictedExcessFraction evaluates the paper's simple probability model
+// (footnote 3): with a uniform mix of read and write misses, infinite
+// pages, and necessary faults only on write misses, the number of excess
+// faults per necessary fault is geometric with parameter
+// p_w = N_w-miss / (N_w-hit + N_w-miss), giving mean (1-p_w)/p_w.
+func (ev Events) PredictedExcessFraction() float64 {
+	tot := ev.NwHit + ev.NwMiss
+	if tot == 0 || ev.NwMiss == 0 {
+		return 0
+	}
+	pw := float64(ev.NwMiss) / float64(tot)
+	return (1 - pw) / pw
+}

@@ -1,0 +1,127 @@
+// Package core implements the subject of the paper: the alternative
+// reference- and dirty-bit mechanisms for a virtual-address cache, the
+// reference-processing engine that runs them against the SPUR memory system,
+// and the analytic overhead models of Section 3.2.
+package core
+
+import "fmt"
+
+// DirtyPolicy selects a dirty-bit implementation alternative (Table 3.1).
+type DirtyPolicy uint8
+
+const (
+	// DirtyMIN is the minimal policy: only the intrinsic overhead of
+	// updating the dirty bit in software, with no checking cost and no
+	// excess faults. It is unbuildable — a lower bound for comparison.
+	DirtyMIN DirtyPolicy = iota
+	// DirtyFAULT emulates dirty bits with protection: writable pages are
+	// mapped read-only until the first write faults; writes to blocks
+	// cached while the page was still clean cause excess faults.
+	DirtyFAULT
+	// DirtyFLUSH is FAULT plus flushing the page from the cache when the
+	// fault occurs, preventing excess faults at the price of the flush.
+	DirtyFLUSH
+	// DirtySPUR is what the prototype built: a copy of the page dirty bit
+	// is cached with each block; when the cached copy says clean the
+	// hardware checks the PTE, and if the cached copy is merely out of
+	// date it is refreshed with a 25-cycle "dirty bit miss" instead of a
+	// 1000-cycle fault.
+	DirtySPUR
+	// DirtyWRITE checks the PTE dirty bit on the first write to each
+	// cache block, as the Sun-3 does (with a fault to software for the
+	// update, to keep the comparison unbiased).
+	DirtyWRITE
+	// DirtyPROT is the generalized SPUR scheme the paper sketches: apply
+	// the dirty-bit-miss idea directly to the protection field. On a
+	// cached-protection violation the hardware first checks the PTE; a
+	// merely out-of-date copy is refreshed with a "protection bit miss"
+	// instead of a fault. Performance is identical to DirtySPUR, and the
+	// extra per-line dirty bit disappears.
+	DirtyPROT
+)
+
+// DirtyPolicies lists the alternatives in Table 3.1 order (the paper's
+// five; DirtyPROT is the footnoted variant, in AllDirtyPolicies).
+var DirtyPolicies = []DirtyPolicy{DirtyMIN, DirtyFAULT, DirtyFLUSH, DirtySPUR, DirtyWRITE}
+
+// AllDirtyPolicies includes the generalized protection-bit-miss variant.
+var AllDirtyPolicies = []DirtyPolicy{DirtyMIN, DirtyFAULT, DirtyFLUSH, DirtySPUR, DirtyWRITE, DirtyPROT}
+
+// String names the policy as the paper does.
+func (p DirtyPolicy) String() string {
+	switch p {
+	case DirtyMIN:
+		return "MIN"
+	case DirtyFAULT:
+		return "FAULT"
+	case DirtyFLUSH:
+		return "FLUSH"
+	case DirtySPUR:
+		return "SPUR"
+	case DirtyWRITE:
+		return "WRITE"
+	case DirtyPROT:
+		return "PROT"
+	}
+	return fmt.Sprintf("DirtyPolicy(%d)", uint8(p))
+}
+
+// Describe returns the Table 3.1 description of the policy.
+func (p DirtyPolicy) Describe() string {
+	switch p {
+	case DirtyMIN:
+		return "Minimal policy. Includes only overhead intrinsic to all policies."
+	case DirtyFAULT:
+		return "Emulate dirty bits with protection. Writes to previously cached blocks cause excess faults."
+	case DirtyFLUSH:
+		return "Emulate dirty bits with protection. When a fault occurs, flush all blocks in that page from the cache, preventing excess faults."
+	case DirtySPUR:
+		return "Store a copy of the dirty bit with each cache block. Check the PTE before faulting; if the cached copy is merely out of date, update it with a dirty bit miss."
+	case DirtyWRITE:
+		return "Check the PTE on the first write to each cache block."
+	case DirtyPROT:
+		return "Emulate dirty bits with protection, but check the PTE before faulting; a stale cached protection is refreshed with a protection bit miss."
+	}
+	return "unknown"
+}
+
+// UsesProtectionEmulation reports whether the policy maps writable pages
+// read-only until their first write (so the protection field doubles as the
+// dirty-bit check).
+func (p DirtyPolicy) UsesProtectionEmulation() bool {
+	return p == DirtyFAULT || p == DirtyFLUSH || p == DirtyPROT
+}
+
+// RefPolicy selects a reference-bit policy (Section 4).
+type RefPolicy uint8
+
+const (
+	// RefMISS is the miss-bit approximation: the reference bit is
+	// checked (and set, via a fault) only on cache misses.
+	RefMISS RefPolicy = iota
+	// RefTRUE is true reference bits: the page daemon flushes a page
+	// from the cache when it clears the page's reference bit, so the
+	// next reference is guaranteed to miss and set the bit.
+	RefTRUE
+	// RefNONE eliminates reference bits: the routine reading the
+	// hardware bit always returns false (the clock degenerates to FIFO)
+	// and the bit is left set in hardware so reference faults never
+	// occur.
+	RefNONE
+)
+
+// RefPolicies lists the three policies in Table 4.1 order.
+var RefPolicies = []RefPolicy{RefMISS, RefTRUE, RefNONE}
+
+// String names the policy as the paper does.
+func (p RefPolicy) String() string {
+	switch p {
+	case RefMISS:
+		return "MISS"
+	case RefTRUE:
+		return "REF"
+	case RefNONE:
+		return "NOREF"
+	}
+	return fmt.Sprintf("RefPolicy(%d)", uint8(p))
+}

@@ -1,0 +1,143 @@
+package counters
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventNamesComplete(t *testing.T) {
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" {
+			t.Errorf("event %d has no name", e)
+		}
+	}
+	if Event(-1).String() != "event(-1)" {
+		t.Errorf("out-of-range name = %q", Event(-1).String())
+	}
+	if Event(NumEvents).String() == eventNames[0] {
+		t.Error("out-of-range event aliased a real name")
+	}
+}
+
+func TestModeMapEventsValid(t *testing.T) {
+	for m, row := range modeMap {
+		seen := map[Event]bool{}
+		for i, e := range row {
+			if e < 0 || e >= NumEvents {
+				t.Errorf("mode %d counter %d wires invalid event %d", m, i, e)
+			}
+			if seen[e] {
+				t.Errorf("mode %d wires event %v to two counters", m, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestShadowCountsRegardlessOfMode(t *testing.T) {
+	s := New()
+	s.SetMode(0)
+	s.Inc(EvDirtyFault) // dirty-fault is not in mode 0's first counters? it is (index 11)
+	s.SetMode(3)
+	s.Inc(EvDirtyFault)
+	if got := s.Count(EvDirtyFault); got != 2 {
+		t.Errorf("shadow = %d, want 2", got)
+	}
+}
+
+func TestHardwareCountsOnlySelectedMode(t *testing.T) {
+	s := New()
+	s.SetMode(2)
+	s.Add(EvExcessFault, 5)
+	// In mode 2, excess-fault is wired to counter 2.
+	if got := s.Hardware(2); got != 5 {
+		t.Errorf("hw[2] = %d, want 5", got)
+	}
+	if s.HardwareEvent(2) != EvExcessFault {
+		t.Errorf("hw[2] wires %v", s.HardwareEvent(2))
+	}
+	// Switching modes must not clear hardware counters (as on the chip).
+	s.SetMode(0)
+	s.Add(EvExcessFault, 3) // not wired in mode 0
+	s.SetMode(2)
+	if got := s.Hardware(2); got != 5 {
+		t.Errorf("hw[2] after mode round-trip = %d, want 5", got)
+	}
+	if got := s.Count(EvExcessFault); got != 8 {
+		t.Errorf("shadow = %d, want 8", got)
+	}
+}
+
+func TestHardwareWraps32Bits(t *testing.T) {
+	s := New()
+	s.SetMode(0)
+	s.Add(EvIFetch, 1<<32+7)
+	if got := s.Hardware(0); got != 7 {
+		t.Errorf("hw wrap = %d, want 7", got)
+	}
+	if got := s.Count(EvIFetch); got != 1<<32+7 {
+		t.Errorf("shadow = %d", got)
+	}
+}
+
+func TestSetModePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetMode(4) did not panic")
+		}
+	}()
+	New().SetMode(NumModes)
+}
+
+func TestReset(t *testing.T) {
+	s := New()
+	s.Inc(EvRead)
+	s.Reset()
+	if s.Count(EvRead) != 0 || s.Hardware(1) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	s := New()
+	s.Add(EvRead, 10)
+	before := s.Snapshot()
+	s.Add(EvRead, 5)
+	s.Add(EvWrite, 2)
+	d := Diff(s.Snapshot(), before)
+	if d[EvRead] != 5 || d[EvWrite] != 2 {
+		t.Errorf("diff = read %d write %d", d[EvRead], d[EvWrite])
+	}
+}
+
+func TestDiffSaturates(t *testing.T) {
+	var a, b [NumEvents]uint64
+	a[EvRead] = 3
+	b[EvRead] = 5
+	if d := Diff(a, b); d[EvRead] != 0 {
+		t.Errorf("Diff should saturate at 0, got %d", d[EvRead])
+	}
+}
+
+func TestShadowMatchesManualSum(t *testing.T) {
+	// Property: for any sequence of (event, n) additions, the shadow equals
+	// the arithmetic sum, independent of interleaved mode changes.
+	f := func(evs []uint8, ns []uint8) bool {
+		s := New()
+		var want [NumEvents]uint64
+		for i, raw := range evs {
+			e := Event(int(raw) % int(NumEvents))
+			n := uint64(1)
+			if i < len(ns) {
+				n = uint64(ns[i])
+			}
+			s.SetMode(i % NumModes)
+			s.Add(e, n)
+			want[e] += n
+		}
+		return s.Snapshot() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/pte"
+	"repro/internal/vm"
+)
+
+// Audit checks the cross-structure invariants of a machine after (or
+// during) a run: every valid cache line belongs to a resident page with a
+// valid PTE, PTE lines belong to the reserved segment, and the PTE's frame
+// matches the pager's. It returns the first violation found, or nil.
+//
+// The simulator's tests run audits after stress runs; a released simulator
+// keeps the auditor public so new policies and workloads can be checked the
+// same way.
+func Audit(m *Machine) error {
+	return auditCache(m.Cfg, m.Cache, m)
+}
+
+// AuditMP audits every processor's cache of a multiprocessor, then the
+// coherence invariants across them: at most one owner per block, and an
+// exclusively owned block cached nowhere else.
+func AuditMP(m *MP) error {
+	for i, c := range m.Caches {
+		if err := auditCache(m.Cfg, c, m); err != nil {
+			return fmt.Errorf("cpu %d: %w", i, err)
+		}
+	}
+	type holder struct {
+		owners, copies int
+		exclusive      bool
+	}
+	blocks := map[addr.BlockAddr]*holder{}
+	for _, c := range m.Caches {
+		for i := 0; i < c.Lines(); i++ {
+			l := c.LineAt(i)
+			if !l.Valid() {
+				continue
+			}
+			h := blocks[l.Addr]
+			if h == nil {
+				h = &holder{}
+				blocks[l.Addr] = h
+			}
+			h.copies++
+			if l.State.Owned() {
+				h.owners++
+			}
+			if l.State == coherence.OwnedExclusive {
+				h.exclusive = true
+			}
+		}
+	}
+	for b, h := range blocks {
+		if h.owners > 1 {
+			return fmt.Errorf("block %#x has %d owners", uint64(b), h.owners)
+		}
+		if h.exclusive && h.copies > 1 {
+			return fmt.Errorf("block %#x exclusive yet cached %d times", uint64(b), h.copies)
+		}
+	}
+	return nil
+}
+
+// auditedMachine is the view auditCache needs from either machine flavour.
+type auditedMachine interface {
+	pagerView() pagerView
+}
+
+type pagerView struct {
+	lookup   func(addr.GVPN) pageView
+	pteValid func(addr.GVPN) (valid bool, pfn addr.PFN)
+}
+
+type pageView struct {
+	exists   bool
+	resident bool
+	frame    addr.PFN
+}
+
+func (m *Machine) pagerView() pagerView { return viewOf(m.Pager.Lookup, m.Table.Lookup) }
+func (m *MP) pagerView() pagerView      { return viewOf(m.Pager.Lookup, m.Table.Lookup) }
+
+func viewOf(lookup func(addr.GVPN) *vm.Page, pteLookup func(addr.GVPN) pte.Entry) pagerView {
+	return pagerView{
+		lookup: func(p addr.GVPN) pageView {
+			pg := lookup(p)
+			if pg == nil {
+				return pageView{}
+			}
+			return pageView{exists: true, resident: pg.Resident, frame: pg.Frame}
+		},
+		pteValid: func(p addr.GVPN) (bool, addr.PFN) {
+			e := pteLookup(p)
+			return e.Valid(), e.PFN()
+		},
+	}
+}
+
+func auditCache(cfg Config, c *cache.Cache, m auditedMachine) error {
+	v := m.pagerView()
+	for i := 0; i < c.Lines(); i++ {
+		l := c.LineAt(i)
+		if !l.Valid() {
+			continue
+		}
+		page := l.Addr.Page()
+		if l.IsPTE {
+			if uint64(page.Base())>>addr.SegmentShift != uint64(PTESegment) {
+				return fmt.Errorf("line %d: PTE block %#x outside the PTE segment", i, uint64(l.Addr))
+			}
+			continue
+		}
+		pg := v.lookup(page)
+		if !pg.exists || !pg.resident {
+			return fmt.Errorf("line %d: block %#x of non-resident page %#x", i, uint64(l.Addr), uint64(page))
+		}
+		valid, pfn := v.pteValid(page)
+		if !valid {
+			return fmt.Errorf("line %d: block %#x cached but PTE invalid", i, uint64(l.Addr))
+		}
+		if pfn != pg.frame {
+			return fmt.Errorf("page %#x: PTE frame %d != pager frame %d", uint64(page), pfn, pg.frame)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package proc provides the process abstraction and the round-robin
+// scheduler that interleaves the synthetic workloads' reference streams.
+//
+// SPUR processes share the global virtual address space (each gets distinct
+// segments), so a context switch neither flushes nor tags the cache; the
+// scheduler's only job is realistic interleaving, which is what makes the
+// combined working set — not any single process's — contend for memory.
+package proc
+
+import "repro/internal/trace"
+
+// Runner generates one process's reference stream.
+type Runner interface {
+	// Step emits the process's next reference.
+	Step() trace.Rec
+	// Done reports whether the process has finished its work. Once Done
+	// returns true the scheduler reaps the task; Step is not called
+	// again.
+	Done() bool
+}
+
+// Task is one schedulable process.
+type Task struct {
+	PID    int32
+	Name   string
+	Runner Runner
+}
+
+// Scheduler interleaves tasks round-robin with a fixed quantum of
+// references.
+type Scheduler struct {
+	quantum int
+	left    int
+	cur     int
+	tasks   []*Task
+
+	// OnExit, if set, is called when a finished task is reaped (process
+	// teardown: releasing its regions and segment).
+	OnExit func(*Task)
+
+	// Switches counts context switches.
+	Switches uint64
+}
+
+// NewScheduler returns a scheduler with the given quantum (references per
+// time slice).
+func NewScheduler(quantum int) *Scheduler {
+	if quantum <= 0 {
+		panic("proc: quantum must be positive")
+	}
+	return &Scheduler{quantum: quantum, left: quantum}
+}
+
+// Add enqueues a task.
+func (s *Scheduler) Add(t *Task) { s.tasks = append(s.tasks, t) }
+
+// Len returns the number of live tasks.
+func (s *Scheduler) Len() int { return len(s.tasks) }
+
+// Tasks returns the live tasks (read-only view for inspection).
+func (s *Scheduler) Tasks() []*Task { return s.tasks }
+
+// Next returns the next reference in the interleaved stream, or false when
+// every task has finished.
+func (s *Scheduler) Next() (trace.Rec, bool) {
+	for {
+		if len(s.tasks) == 0 {
+			return trace.Rec{}, false
+		}
+		if s.cur >= len(s.tasks) {
+			s.cur = 0
+		}
+		t := s.tasks[s.cur]
+		if t.Runner.Done() {
+			s.reap(s.cur)
+			continue
+		}
+		if s.left <= 0 {
+			s.cur = (s.cur + 1) % len(s.tasks)
+			s.left = s.quantum
+			s.Switches++
+			continue
+		}
+		s.left--
+		r := t.Runner.Step()
+		r.PID = t.PID
+		return r, true
+	}
+}
+
+func (s *Scheduler) reap(i int) {
+	t := s.tasks[i]
+	s.tasks = append(s.tasks[:i], s.tasks[i+1:]...)
+	if s.cur >= len(s.tasks) {
+		s.cur = 0
+	}
+	s.left = s.quantum
+	if s.OnExit != nil {
+		s.OnExit(t)
+	}
+}

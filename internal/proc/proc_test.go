@@ -1,0 +1,113 @@
+package proc
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// countRunner emits n reads at a fixed address.
+type countRunner struct {
+	n    int
+	addr addr.GVA
+}
+
+func (c *countRunner) Step() trace.Rec {
+	c.n--
+	return trace.Rec{Op: trace.OpRead, Addr: c.addr}
+}
+func (c *countRunner) Done() bool { return c.n <= 0 }
+
+func TestNewSchedulerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero quantum")
+		}
+	}()
+	NewScheduler(0)
+}
+
+func TestEmptyScheduler(t *testing.T) {
+	s := NewScheduler(10)
+	if _, ok := s.Next(); ok {
+		t.Error("empty scheduler produced a reference")
+	}
+}
+
+func TestRoundRobinInterleaving(t *testing.T) {
+	s := NewScheduler(3)
+	s.Add(&Task{PID: 1, Runner: &countRunner{n: 9, addr: 100}})
+	s.Add(&Task{PID: 2, Runner: &countRunner{n: 9, addr: 200}})
+	var order []int32
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		order = append(order, r.PID)
+	}
+	if len(order) != 18 {
+		t.Fatalf("emitted %d refs, want 18", len(order))
+	}
+	// Quantum 3: 1,1,1,2,2,2,1,1,1,...
+	want := []int32{1, 1, 1, 2, 2, 2, 1, 1, 1, 2, 2, 2, 1, 1, 1, 2, 2, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], want[i], order)
+		}
+	}
+	if s.Switches == 0 {
+		t.Error("no context switches counted")
+	}
+}
+
+func TestPIDStamping(t *testing.T) {
+	s := NewScheduler(5)
+	s.Add(&Task{PID: 42, Runner: &countRunner{n: 1, addr: 7}})
+	r, ok := s.Next()
+	if !ok || r.PID != 42 {
+		t.Errorf("rec = %+v ok=%v", r, ok)
+	}
+}
+
+func TestOnExitAndReaping(t *testing.T) {
+	s := NewScheduler(2)
+	var exited []int32
+	s.OnExit = func(t *Task) { exited = append(exited, t.PID) }
+	s.Add(&Task{PID: 1, Runner: &countRunner{n: 1, addr: 1}})
+	s.Add(&Task{PID: 2, Runner: &countRunner{n: 4, addr: 2}})
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("refs = %d, want 5", n)
+	}
+	if len(exited) != 2 || exited[0] != 1 || exited[1] != 2 {
+		t.Errorf("exit order = %v", exited)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after drain", s.Len())
+	}
+}
+
+func TestAddDuringRun(t *testing.T) {
+	s := NewScheduler(2)
+	s.Add(&Task{PID: 1, Runner: &countRunner{n: 2, addr: 1}})
+	s.Next()
+	s.Add(&Task{PID: 2, Runner: &countRunner{n: 2, addr: 2}})
+	total := 1
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		total++
+	}
+	if total != 4 {
+		t.Errorf("total = %d, want 4", total)
+	}
+}

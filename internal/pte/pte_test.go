@@ -1,0 +1,201 @@
+package pte
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestMakeDefaults(t *testing.T) {
+	e := Make(0x1234, ProtReadOnly)
+	if !e.Valid() {
+		t.Error("Make entry not valid")
+	}
+	if !e.Cacheable() {
+		t.Error("Make entry not cacheable")
+	}
+	if e.Dirty() || e.Referenced() {
+		t.Error("Make entry should start clean and unreferenced")
+	}
+	if e.PFN() != 0x1234 {
+		t.Errorf("PFN = %#x", e.PFN())
+	}
+	if e.Prot() != ProtReadOnly {
+		t.Errorf("Prot = %v", e.Prot())
+	}
+}
+
+func TestBitSettersIndependent(t *testing.T) {
+	// Property: setting one field never disturbs the others.
+	f := func(pfn uint32, protRaw, bits uint8) bool {
+		pfn &= 1<<20 - 1
+		prot := Prot(protRaw % 4)
+		e := Make(addr.PFN(pfn), prot)
+		e = e.WithDirty(bits&1 != 0).
+			WithReferenced(bits&2 != 0).
+			WithValid(bits&4 != 0).
+			WithCoherent(bits&8 != 0)
+		return e.PFN() == addr.PFN(pfn) &&
+			e.Prot() == prot &&
+			e.Dirty() == (bits&1 != 0) &&
+			e.Referenced() == (bits&2 != 0) &&
+			e.Valid() == (bits&4 != 0) &&
+			e.Coherent() == (bits&8 != 0) &&
+			e.Cacheable()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithProtAndPFN(t *testing.T) {
+	e := Make(7, ProtReadOnly).WithDirty(true)
+	e = e.WithProt(ProtReadWrite)
+	if e.Prot() != ProtReadWrite || !e.Dirty() || e.PFN() != 7 {
+		t.Errorf("WithProt disturbed entry: %v", e)
+	}
+	e = e.WithPFN(99)
+	if e.PFN() != 99 || e.Prot() != ProtReadWrite || !e.Dirty() {
+		t.Errorf("WithPFN disturbed entry: %v", e)
+	}
+}
+
+func TestProtSemantics(t *testing.T) {
+	if ProtNone.AllowsRead() || ProtNone.AllowsWrite() {
+		t.Error("ProtNone allows access")
+	}
+	if !ProtReadOnly.AllowsRead() || ProtReadOnly.AllowsWrite() {
+		t.Error("ProtReadOnly wrong")
+	}
+	if !ProtReadWrite.AllowsRead() || !ProtReadWrite.AllowsWrite() {
+		t.Error("ProtReadWrite wrong")
+	}
+	if ProtKernel.AllowsWrite() {
+		t.Error("ProtKernel should not allow user writes")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	for p, want := range map[Prot]string{ProtNone: "--", ProtReadOnly: "RO", ProtReadWrite: "RW", ProtKernel: "KR"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if !strings.Contains(Prot(9).String(), "9") {
+		t.Error("invalid prot string")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	s := Make(0xab, ProtReadWrite).WithDirty(true).String()
+	for _, want := range []string{"pfn=0xab", "RW", "D", "V", "K"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestTableLookupSetInvalidate(t *testing.T) {
+	tbl := NewTable(200)
+	p := addr.GVPN(42)
+	if got := tbl.Lookup(p); got != 0 {
+		t.Errorf("untouched entry = %v, want 0", got)
+	}
+	e := Make(5, ProtReadWrite)
+	tbl.Set(p, e)
+	if got := tbl.Lookup(p); got != e {
+		t.Errorf("Lookup = %v, want %v", got, e)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+	if old := tbl.Invalidate(p); old != e {
+		t.Errorf("Invalidate returned %v", old)
+	}
+	if tbl.Lookup(p) != 0 || tbl.Len() != 0 {
+		t.Error("entry survived Invalidate")
+	}
+}
+
+func TestTableSetZeroDeletes(t *testing.T) {
+	tbl := NewTable(200)
+	tbl.Set(1, Make(2, ProtReadOnly))
+	tbl.Set(1, 0)
+	if tbl.Len() != 0 {
+		t.Error("Set(p, 0) should delete")
+	}
+}
+
+func TestTableUpdate(t *testing.T) {
+	tbl := NewTable(200)
+	p := addr.GVPN(9)
+	tbl.Set(p, Make(1, ProtReadOnly))
+	got := tbl.Update(p, func(e Entry) Entry { return e.WithDirty(true) })
+	if !got.Dirty() || !tbl.Lookup(p).Dirty() {
+		t.Error("Update did not persist")
+	}
+}
+
+func TestTableRange(t *testing.T) {
+	tbl := NewTable(200)
+	for i := 0; i < 5; i++ {
+		tbl.Set(addr.GVPN(i), Make(addr.PFN(i), ProtReadOnly))
+	}
+	n := 0
+	tbl.Range(func(addr.GVPN, Entry) bool { n++; return true })
+	if n != 5 {
+		t.Errorf("Range visited %d", n)
+	}
+	n = 0
+	tbl.Range(func(addr.GVPN, Entry) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Range early-stop visited %d", n)
+	}
+}
+
+func TestPTEAddrShiftAndConcatenate(t *testing.T) {
+	tbl := NewTable(128)
+	// Adjacent pages have adjacent 4-byte entries.
+	a0 := tbl.PTEAddr(addr.GVPN(100))
+	a1 := tbl.PTEAddr(addr.GVPN(101))
+	if a1-a0 != PTESize {
+		t.Errorf("adjacent PTEs %d bytes apart", a1-a0)
+	}
+	// The PTE address lives in the reserved segment.
+	if uint64(a0)>>addr.SegmentShift != 128 {
+		t.Errorf("PTE not in segment 128: %v", a0)
+	}
+}
+
+func TestPTEPageAndL2Index(t *testing.T) {
+	tbl := NewTable(128)
+	perPage := addr.PageBytes / PTESize // 1024 entries per PTE page
+	if got := tbl.L2Index(addr.GVPN(perPage*3 + 5)); got != 3 {
+		t.Errorf("L2Index = %d, want 3", got)
+	}
+	// All entries in one PTE page share an L2 index and a PTE page.
+	p0, p1 := addr.GVPN(perPage*7), addr.GVPN(perPage*7+perPage-1)
+	if tbl.PTEPage(p0) != tbl.PTEPage(p1) || tbl.L2Index(p0) != tbl.L2Index(p1) {
+		t.Error("entries within one PTE page disagree")
+	}
+	if tbl.PTEPage(p1) == tbl.PTEPage(p1+1) {
+		t.Error("PTE page boundary not respected")
+	}
+}
+
+func TestPTEsPerBlock(t *testing.T) {
+	if PTEsPerBlock != 8 {
+		t.Errorf("PTEsPerBlock = %d, want 8", PTEsPerBlock)
+	}
+}
+
+func TestFormatMentionsAllFields(t *testing.T) {
+	s := Format()
+	for _, f := range []string{"PR", "C", "K", "D", "R", "V", "Physical Page Number"} {
+		if !strings.Contains(s, f) {
+			t.Errorf("Format() missing %q", f)
+		}
+	}
+}

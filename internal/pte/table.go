@@ -1,0 +1,125 @@
+package pte
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// PTESize is the size of one packed entry in bytes.
+const PTESize = 4
+
+// PTEsPerBlock is how many entries share one cache block. Because PTEs are
+// cached like ordinary data, a miss on one PTE brings its seven neighbours
+// into the cache with it.
+const PTEsPerBlock = addr.BlockBytes / PTESize
+
+// Table is the two-level page table for the global virtual space.
+//
+// The first level is (logically) a linear array of entries indexed by global
+// virtual page number, itself living in global virtual space inside a
+// reserved segment: the cache controller finds the PTE for page p at virtual
+// address PTEAddr(p) by a shift-and-concatenate. The second level maps the
+// pages of that array and is wired in physical memory; Table exposes the
+// second-level address computation so the translation unit can account for
+// its accesses, and keeps the first-level contents in a sparse map (the
+// simulator never instantiates the 256 MB linear array).
+type Table struct {
+	seg     addr.SegmentID // reserved segment holding the first-level array
+	entries map[addr.GVPN]Entry
+}
+
+// NewTable returns an empty page table whose first-level array lives in
+// segment seg. The segment must not be used for anything else.
+func NewTable(seg addr.SegmentID) *Table {
+	return &Table{seg: seg, entries: make(map[addr.GVPN]Entry)}
+}
+
+// Segment returns the reserved PTE segment.
+func (t *Table) Segment() addr.SegmentID { return t.seg }
+
+// PTEAddr returns the global virtual address of the first-level entry for
+// page p: the shift-and-concatenate circuit of the SPUR cache controller.
+func (t *Table) PTEAddr(p addr.GVPN) addr.GVA {
+	return addr.Global(t.seg, uint64(p)*PTESize)
+}
+
+// PTEPage returns the global virtual page of the first-level table that
+// holds the entry for p. Used to decide which second-level entry maps it.
+func (t *Table) PTEPage(p addr.GVPN) addr.GVPN {
+	return t.PTEAddr(p).Page()
+}
+
+// L2Index returns the index of the wired second-level entry that maps the
+// first-level page holding p's entry.
+func (t *Table) L2Index(p addr.GVPN) uint64 {
+	return uint64(p) / (addr.PageBytes / PTESize)
+}
+
+// Lookup returns the entry for page p. A page that has never been entered
+// reads as an all-zero (invalid) entry, exactly like untouched page-table
+// memory.
+func (t *Table) Lookup(p addr.GVPN) Entry {
+	return t.entries[p]
+}
+
+// Set stores the entry for page p.
+func (t *Table) Set(p addr.GVPN, e Entry) {
+	if e == 0 {
+		delete(t.entries, p)
+		return
+	}
+	t.entries[p] = e
+}
+
+// Update applies fn to the entry for page p and stores the result, returning
+// the new value. This models the software fault handler's read-modify-write
+// of the PTE.
+func (t *Table) Update(p addr.GVPN, fn func(Entry) Entry) Entry {
+	e := fn(t.entries[p])
+	t.Set(p, e)
+	return e
+}
+
+// Invalidate clears the entry for page p, returning the old value.
+func (t *Table) Invalidate(p addr.GVPN) Entry {
+	old := t.entries[p]
+	delete(t.entries, p)
+	return old
+}
+
+// Len returns the number of valid (non-zero) entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Range calls fn for every non-zero entry until fn returns false. Iteration
+// order is unspecified.
+func (t *Table) Range(fn func(addr.GVPN, Entry) bool) {
+	for p, e := range t.entries {
+		if !fn(p, e) {
+			return
+		}
+	}
+}
+
+// Format describes the entry layout (Figure 3.2a) as text, for cmd/tables.
+func Format() string {
+	return `SPUR Page Table Entry Format (Figure 3.2a)
+  31                     12  6 5 4 3 2 1 0
+ +--------------------------+---+-+-+-+-+-+
+ |   Physical Page Number   |PR |C|K|D|R|V|
+ +--------------------------+---+-+-+-+-+-+
+  PR = Protection (2 bits)   C = Coherency   K = Cacheable
+  D = Page Dirty Bit         R = Page Referenced Bit        V = Page Valid Bit`
+}
+
+// CheckSegmentFits panics if the first-level array cannot fit in one
+// segment; with 38-bit global addresses and 4-byte entries it always can,
+// and this guard documents the invariant the address computation relies on.
+func CheckSegmentFits() {
+	maxGVPN := uint64(1) << (addr.GlobalBits - addr.PageShift)
+	if maxGVPN*PTESize > 1<<addr.SegmentShift {
+		panic(fmt.Sprintf("pte: first-level table (%d bytes) exceeds a segment", maxGVPN*PTESize))
+	}
+}
+
+func init() { CheckSegmentFits() }

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bbbb"}}
+	tbl.Add("x", 12)
+	tbl.Add("longer", 3.5)
+	tbl.Note("note %d", 7)
+	s := tbl.String()
+	for _, want := range []string{"T\n", "a", "bbbb", "x", "12", "longer", "3.50", "note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, s)
+		}
+	}
+	// Columns align: every data line has the same prefix width for col 0.
+	lines := strings.Split(s, "\n")
+	var dataLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "x") || strings.HasPrefix(l, "longer") {
+			dataLines = append(dataLines, l)
+		}
+	}
+	if len(dataLines) != 2 {
+		t.Fatalf("data lines = %d", len(dataLines))
+	}
+	if strings.Index(dataLines[0], "12") != strings.Index(dataLines[1], "3.50") {
+		t.Error("columns misaligned")
+	}
+}
+
+func TestTableNoTitleNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.Add("only")
+	s := tbl.String()
+	if !strings.Contains(s, "only") || strings.Contains(s, "=") {
+		t.Errorf("bare table rendering:\n%s", s)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tbl := &Table{Header: []string{"a"}}
+	tbl.Add("1", "2", "3") // wider than header
+	s := tbl.String()
+	if !strings.Contains(s, "3") {
+		t.Error("extra columns dropped")
+	}
+}
+
+func TestPctRatio(t *testing.T) {
+	if Pct(1.02) != "(102%)" {
+		t.Errorf("Pct = %q", Pct(1.02))
+	}
+	if Ratio(1.155) != "(1.16)" {
+		t.Errorf("Ratio = %q", Ratio(1.155))
+	}
+}
+
+func TestMCycles(t *testing.T) {
+	cases := map[uint64]string{
+		1_440_000:   "1.44",
+		933_000:     "0.933",
+		35_300_000:  "35.3",
+		228_000_000: "228",
+	}
+	for in, want := range cases {
+		if got := MCycles(in); got != want {
+			t.Errorf("MCycles(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{Title: "T", XLabel: "x", YLabel: "y", Width: 30, Height: 8}
+	c.AddSeries("a", []float64{1, 2, 3}, []float64{10, 20, 15})
+	c.AddSeries("b", []float64{3, 1, 2}, []float64{5, 5, 5}) // unsorted input
+	s := c.String()
+	for _, want := range []string{"T", "x", "y", "* a", "o b", "+---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chart missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	c := &Chart{Title: "E"}
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+	c.AddSeries("flatx", []float64{2, 2}, []float64{1, 3})
+	if !strings.Contains(c.String(), "no data") {
+		t.Error("zero x-range should degrade gracefully")
+	}
+}
+
+func TestChartSeriesLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched series accepted")
+		}
+	}()
+	(&Chart{}).AddSeries("bad", []float64{1}, []float64{1, 2})
+}

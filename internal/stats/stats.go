@@ -1,0 +1,70 @@
+// Package stats provides the small statistical toolkit the experiments use:
+// summary statistics over repetitions and the seeded shuffling behind the
+// paper's randomized experiment design ("five repetitions of each data
+// point, using a randomized experiment design to minimize bias").
+package stats
+
+import "math"
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+}
+
+// Summarize computes mean and sample standard deviation.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return Summary{N: n, Mean: mean, StdDev: math.Sqrt(ss / float64(n-1))}
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for small samples
+// (index = degrees of freedom); beyond the table 1.96 is used.
+var tCrit95 = []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	df := s.N - 1
+	t := 1.96
+	if df < len(tCrit95) {
+		t = tCrit95[df]
+	}
+	return t * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// Shuffle permutes order in place with a splitmix64-derived Fisher-Yates,
+// giving a deterministic randomized run order for a given seed.
+func Shuffle[T any](xs []T, seed uint64) {
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(next() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95() != 0 {
+		t.Errorf("empty = %+v", s)
+	}
+	if s := Summarize([]float64{3}); s.N != 1 || s.Mean != 3 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Errorf("singleton = %+v", s)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// n=5, sd=1: half-width = 2.776/sqrt(5).
+	s := Summary{N: 5, Mean: 0, StdDev: 1}
+	want := 2.776 / math.Sqrt(5)
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", s.CI95(), want)
+	}
+	// Large n falls back to 1.96.
+	s = Summary{N: 100, StdDev: 1}
+	if math.Abs(s.CI95()-0.196) > 1e-9 {
+		t.Errorf("large-n CI95 = %v", s.CI95())
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		xs := make([]int, 50)
+		for i := range xs {
+			xs[i] = i
+		}
+		Shuffle(xs, seed)
+		seen := make([]bool, 50)
+		for _, x := range xs {
+			if x < 0 || x >= 50 || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleDeterministicAndSeedSensitive(t *testing.T) {
+	mk := func(seed uint64) []int {
+		xs := make([]int, 20)
+		for i := range xs {
+			xs[i] = i
+		}
+		Shuffle(xs, seed)
+		return xs
+	}
+	a, b := mk(5), mk(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed shuffled differently")
+		}
+	}
+	c := mk(6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds gave same permutation")
+	}
+}

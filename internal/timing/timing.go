@@ -1,0 +1,135 @@
+// Package timing collects every cycle-count and latency parameter of the
+// cost models: the machine configuration of Table 2.1, the measured time
+// parameters of Table 3.2, and the pager costs the elapsed-time model needs.
+//
+// All times are in processor cycles unless stated otherwise. The prototype's
+// processor cycle is 150 ns; because of noise problems the prototype ran at
+// 1.5x the design cycle and with the instruction buffer disabled, landing at
+// roughly 1.5 MIPS — the paper argues (and we assume) that the relative
+// processor/I-O speed is a second-order effect, so the parameters below are
+// inputs, not conclusions.
+package timing
+
+// Params is the full set of timing parameters.
+type Params struct {
+	// ProcessorCycleNS is the processor cycle time in nanoseconds
+	// (Table 2.1: 150 ns).
+	ProcessorCycleNS float64
+	// BackplaneCycleNS is the bus cycle time (Table 2.1: 125 ns).
+	BackplaneCycleNS float64
+
+	// MemFirstWord is the memory latency to the first word of a block
+	// (Table 2.1: 3 cycles); MemNextWord is per additional word (1 cycle).
+	MemFirstWord int
+	MemNextWord  int
+	// WordsPerBlock is the block size in 32-bit words (32 B / 4 B = 8).
+	WordsPerBlock int
+
+	// HitCycles is the cost of a cache hit (the virtual cache's reason to
+	// exist: one cycle, no translation).
+	HitCycles int
+
+	// PTECheckCycles is the cost to check a PTE resident in the cache
+	// (3 cycles; with the ~2-cycle weighted miss penalty this yields the
+	// paper's t_dc ≈ 5).
+	PTECheckCycles int
+	// L2WordCycles is the cost to read a wired second-level PTE directly
+	// from memory.
+	L2WordCycles int
+
+	// FaultCycles is t_ds: the measured cost of a fault to the software
+	// handler — switch to the kernel stack, read the CC status register,
+	// decode the instruction, update the PTE (Table 3.2: ~1000 cycles;
+	// the handler is untuned and the paper notes tuning it would not
+	// change the conclusions).
+	FaultCycles uint64
+	// DirtyMissCycles is t_dm: refreshing a stale cached page dirty bit
+	// by forcing a cache miss (Table 3.2: 25 cycles).
+	DirtyMissCycles uint64
+	// PageFlushCycles is t_flush: flushing a page with the hypothetical
+	// tag-checking flush — 128 blocks to check, two instructions of loop
+	// overhead, 90% of blocks at 1 cycle, 10% flushed at 10 cycles
+	// (Table 3.2: ~500 cycles).
+	PageFlushCycles uint64
+	// DirtyCheckCycles is t_dc: checking the PTE dirty bit on a write hit
+	// to a clean block (Table 3.2: ~5 cycles).
+	DirtyCheckCycles uint64
+
+	// FlushCheckCycles and FlushBlockCycles are the per-block components
+	// behind PageFlushCycles, used when the simulator charges a flush by
+	// its actual per-block work instead of the fixed estimate.
+	FlushCheckCycles uint64
+	FlushBlockCycles uint64
+
+	// DaemonScanCycles is the pager's cost to examine one page.
+	DaemonScanCycles uint64
+	// ZeroFillCycles is the kernel's cost to zero a fresh 4 KB page.
+	ZeroFillCycles uint64
+	// PageOutCPUCycles is the CPU cost to queue a page for write-out (the
+	// transfer itself is asynchronous).
+	PageOutCPUCycles uint64
+	// PageInStallCycles is the elapsed-time cost of a synchronous page-in
+	// from the backing store when no other process can use the CPU. The
+	// paper's machines paged over Sprite's network file system; its
+	// elapsed times imply an effective cost well over 100 ms per page-in
+	// under load (service plus queueing plus the work lost to the wait).
+	// Page-in *counts* in this reproduction are at paper scale (the
+	// footprints are unscaled), so the latency stays at real scale too,
+	// which preserves the paper's elapsed-time proportions.
+	PageInStallCycles uint64
+	// PageInOverlapFactor is the fraction of the stall that still costs
+	// elapsed time when other processes are runnable: a multiprogrammed
+	// machine overlaps page waits with other work (WORKLOAD1's background
+	// espresso hides most of the foreground's page-in time; SLC's single
+	// process cannot hide any).
+	PageInOverlapFactor float64
+}
+
+// Default returns the SPUR prototype parameters.
+func Default() Params {
+	return Params{
+		ProcessorCycleNS: 150,
+		BackplaneCycleNS: 125,
+		MemFirstWord:     3,
+		MemNextWord:      1,
+		WordsPerBlock:    8,
+		HitCycles:        1,
+		PTECheckCycles:   3,
+		L2WordCycles:     3,
+		FaultCycles:      1000,
+		DirtyMissCycles:  25,
+		PageFlushCycles:  500,
+		DirtyCheckCycles: 5,
+		FlushCheckCycles: 1,
+		FlushBlockCycles: 10,
+		DaemonScanCycles: 30,
+		ZeroFillCycles:   1100, // 1024 word stores plus loop overhead
+		PageOutCPUCycles: 800,
+		// ~27 ms of un-overlapped stall per page-in (Table 4.1's SLC
+		// elapsed times at our CPU scale imply roughly this).
+		PageInStallCycles:   180_000,
+		PageInOverlapFactor: 0.15,
+	}
+}
+
+// BlockFetchCycles is the bus occupancy to fetch one 32-byte block: first
+// word plus seven successors (Table 2.1: 3 + 7x1 = 10 cycles).
+func (p Params) BlockFetchCycles() uint64 {
+	return uint64(p.MemFirstWord + (p.WordsPerBlock-1)*p.MemNextWord)
+}
+
+// WriteBackCycles is the bus occupancy to write one block back.
+func (p Params) WriteBackCycles() uint64 { return p.BlockFetchCycles() }
+
+// MissPenaltyCycles is the cost of a simple cache miss: fetch the block
+// (translation is charged separately by the xlate unit).
+func (p Params) MissPenaltyCycles() uint64 { return p.BlockFetchCycles() }
+
+// Seconds converts processor cycles to seconds.
+func (p Params) Seconds(cycles uint64) float64 {
+	return float64(cycles) * p.ProcessorCycleNS * 1e-9
+}
+
+// MIPS returns the approximate native instruction rate implied by the cycle
+// time, for reporting.
+func (p Params) MIPS() float64 { return 1e3 / p.ProcessorCycleNS }

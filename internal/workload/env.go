@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"repro/internal/addr"
+	"repro/internal/vm"
+)
+
+// Env is what a workload needs from the machine: virtual-memory regions and
+// segment numbers for its processes. The machine implements it over the
+// pager and a segment allocator.
+type Env interface {
+	// AddRegion registers n pages of the given kind at start.
+	AddRegion(start addr.GVPN, n int, kind vm.PageKind) vm.Region
+	// ReleaseRegion tears a region down (process exit).
+	ReleaseRegion(r vm.Region)
+	// AllocSegment reserves a fresh 1 GB segment of the global space.
+	AllocSegment() addr.SegmentID
+	// FreeSegment returns a segment whose regions have all been released.
+	FreeSegment(s addr.SegmentID)
+}
+
+// Layout of regions inside a process's private segment, in pages. Each area
+// is far larger than any job uses, so regions never collide.
+const (
+	codeBase  = 0
+	dataBase  = 1 << 14 // 16 K pages in
+	heapBase  = 1 << 15
+	stackBase = 1 << 17
+	// heapStride spaces successive heap generations (heap churn) apart.
+	heapStride = 1 << 10
+)

@@ -1,0 +1,53 @@
+// Package workload synthesizes the paper's workloads as multi-process
+// reference generators: WORKLOAD1 (a CAD-tool developer's script), SLC (the
+// SPUR Common Lisp compiler), and the Sprite development hosts of Table 3.5.
+//
+// The generators are parameterised in exactly the quantities the paper's
+// results hinge on: working-set size against memory size (paging rate),
+// the fraction of modified blocks that are read before being written
+// (N_w-hit / N_w-miss, which drives excess faults), and the volume of
+// zero-fill page creation (N_zfod).
+package workload
+
+// RNG is a small, fast, deterministic generator (splitmix64). Experiments
+// use explicit seeds so runs repeat exactly.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn of non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Chance reports true with probability p.
+func (r *RNG) Chance(p float64) bool { return r.Float64() < p }
+
+// Range returns a uniform int in [lo, hi].
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("workload: empty range")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Fork derives an independent stream, for giving each process its own RNG.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }

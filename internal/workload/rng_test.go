@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds collided on first draw")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestFloat64Bounds(t *testing.T) {
+	r := NewRNG(9)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestChance(t *testing.T) {
+	r := NewRNG(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Chance(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Chance(0.25) frequency = %v", frac)
+	}
+	if r.Chance(0) {
+		t.Error("Chance(0) fired")
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := NewRNG(13)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("Range(3,6) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Errorf("Range never produced %d", v)
+		}
+	}
+	if r.Range(5, 5) != 5 {
+		t.Error("degenerate range")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("empty range did not panic")
+		}
+	}()
+	r.Range(6, 3)
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(5)
+	f1, f2 := r.Fork(), r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forks correlated on first draw")
+	}
+}
+
+func TestUint64Uniformish(t *testing.T) {
+	// Property: low bit is unbiased over any window.
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		ones := 0
+		for i := 0; i < 640; i++ {
+			ones += int(r.Uint64() & 1)
+		}
+		return ones > 240 && ones < 400
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// JobSpec names a job template within a script.
+type JobSpec struct {
+	Params JobParams
+	// Shared lists shared code images (program text shared between
+	// processes — the compiler, the editor) the job executes from.
+	Shared []string
+	// PersistentData, if non-empty, names a script-owned file-backed
+	// data region the job works on instead of private data. Repeated
+	// instances of the same command touch the same file pages — the
+	// Sprite file cache keeps them in memory between runs, so a
+	// recompile does not re-read the world from disk.
+	PersistentData string
+	// PersistentSource, if non-empty, names a script-owned *read-only*
+	// region (an ROFiles entry) the job reads through PSrcRead scans.
+	PersistentSource string
+}
+
+// MonitorSpec is a small job respawned periodically (WORKLOAD1's two
+// performance monitor programs).
+type MonitorSpec struct {
+	Spec JobSpec
+	// Period is the respawn interval in global references.
+	Period int64
+}
+
+// Spec is a whole workload: shared images, persistent file regions,
+// long-running background jobs, a cyclic foreground command sequence, and
+// periodic monitors.
+type Spec struct {
+	Name string
+	// Images maps shared code image names to their sizes in pages.
+	Images map[string]int
+	// Files maps persistent data region names to their sizes in pages.
+	Files map[string]int
+	// ROFiles maps persistent read-only region names (file-cache-resident
+	// sources, never writable-mapped) to their sizes in pages.
+	ROFiles map[string]int
+	// Background jobs run for the whole experiment.
+	Background []JobSpec
+	// Foreground jobs run one at a time, cycling forever.
+	Foreground []JobSpec
+	// Monitors respawn periodically.
+	Monitors []MonitorSpec
+	// Quantum is the scheduler time slice in references.
+	Quantum int
+}
+
+// Script drives a Spec: it owns the shared images and persistent regions,
+// spawns and reaps jobs, and implements trace.Source.
+type Script struct {
+	spec Spec
+	env  Env
+	rng  *RNG
+
+	sched   *proc.Scheduler
+	nextPID int32
+
+	images map[string]vm.Region
+	files  map[string]vm.Region
+
+	jobs map[*proc.Task]*taskInfo
+
+	fgIdx      int
+	monitorUp  []bool
+	monitorDue []int64
+	refCount   int64
+}
+
+type taskInfo struct {
+	job     *Job
+	isFG    bool
+	monitor int // -1 unless a monitor instance
+}
+
+// NewScript instantiates a workload over the machine environment.
+func NewScript(env Env, seed uint64, spec Spec) *Script {
+	if spec.Quantum <= 0 {
+		spec.Quantum = 20000
+	}
+	s := &Script{
+		spec:   spec,
+		env:    env,
+		rng:    NewRNG(seed),
+		sched:  proc.NewScheduler(spec.Quantum),
+		images: make(map[string]vm.Region),
+		files:  make(map[string]vm.Region),
+		jobs:   make(map[*proc.Task]*taskInfo),
+	}
+	s.sched.OnExit = s.onExit
+
+	for name, pages := range spec.Images {
+		seg := env.AllocSegment()
+		s.images[name] = env.AddRegion(addr.PageIn(seg, 0), pages, vm.Code)
+	}
+	for name, pages := range spec.Files {
+		seg := env.AllocSegment()
+		s.files[name] = env.AddRegion(addr.PageIn(seg, 0), pages, vm.Data)
+	}
+	for name, pages := range spec.ROFiles {
+		if _, dup := s.files[name]; dup {
+			panic(fmt.Sprintf("workload: %q in both Files and ROFiles", name))
+		}
+		seg := env.AllocSegment()
+		s.files[name] = env.AddRegion(addr.PageIn(seg, 0), pages, vm.Code)
+	}
+
+	for _, b := range spec.Background {
+		b.Params.Refs = 1 << 62 // runs for the whole experiment
+		s.spawn(b, &taskInfo{monitor: -1})
+	}
+	if len(spec.Foreground) > 0 {
+		s.spawn(spec.Foreground[0], &taskInfo{isFG: true, monitor: -1})
+		s.fgIdx = 0
+	}
+	s.monitorUp = make([]bool, len(spec.Monitors))
+	s.monitorDue = make([]int64, len(spec.Monitors))
+	for i, m := range spec.Monitors {
+		s.monitorDue[i] = m.Period
+	}
+	return s
+}
+
+// spawn creates a job for the spec and schedules it.
+func (s *Script) spawn(js JobSpec, info *taskInfo) {
+	shared := make([]vm.Region, 0, len(js.Shared))
+	for _, name := range js.Shared {
+		r, ok := s.images[name]
+		if !ok {
+			panic(fmt.Sprintf("workload: unknown shared image %q", name))
+		}
+		shared = append(shared, r)
+	}
+	var persistent, source vm.Region
+	if js.PersistentData != "" {
+		r, ok := s.files[js.PersistentData]
+		if !ok {
+			panic(fmt.Sprintf("workload: unknown persistent file region %q", js.PersistentData))
+		}
+		persistent = r
+	}
+	if js.PersistentSource != "" {
+		r, ok := s.files[js.PersistentSource]
+		if !ok {
+			panic(fmt.Sprintf("workload: unknown persistent source region %q", js.PersistentSource))
+		}
+		source = r
+	}
+	job := newJobWithData(s.env, s.rng, js.Params, shared, persistent, source)
+	info.job = job
+	s.nextPID++
+	t := &proc.Task{PID: s.nextPID, Name: js.Params.Name, Runner: job}
+	s.jobs[t] = info
+	s.sched.Add(t)
+}
+
+// onExit tears the job down and respawns foreground/monitor successors.
+func (s *Script) onExit(t *proc.Task) {
+	info := s.jobs[t]
+	delete(s.jobs, t)
+	info.job.Teardown()
+	if info.isFG {
+		s.fgIdx = (s.fgIdx + 1) % len(s.spec.Foreground)
+		s.spawn(s.spec.Foreground[s.fgIdx], &taskInfo{isFG: true, monitor: -1})
+	}
+	if info.monitor >= 0 {
+		s.monitorUp[info.monitor] = false
+	}
+}
+
+// Next implements trace.Source.
+func (s *Script) Next() (trace.Rec, bool) {
+	s.refCount++
+	for i := range s.spec.Monitors {
+		if !s.monitorUp[i] && s.refCount >= s.monitorDue[i] {
+			s.monitorUp[i] = true
+			s.monitorDue[i] = s.refCount + s.spec.Monitors[i].Period
+			s.spawn(s.spec.Monitors[i].Spec, &taskInfo{monitor: i})
+		}
+	}
+	return s.sched.Next()
+}
+
+// Scheduler exposes the underlying scheduler for inspection.
+func (s *Script) Scheduler() *proc.Scheduler { return s.sched }
+
+// Runnable reports how many processes could use the CPU right now; the
+// pager uses it to decide whether a page-in stall overlaps with other work.
+func (s *Script) Runnable() int { return s.sched.Len() }

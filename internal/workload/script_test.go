@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+func miniSpec() Spec {
+	small := func(name string, refs int64) JobSpec {
+		return JobSpec{
+			Params: JobParams{
+				Name: name, Refs: refs,
+				HotCodeFrac: 0.2, DataPages: 8, HeapPages: 2, StackPages: 1,
+				PIFetch: 0.5, PJump: 0.05, PFarJump: 0.1,
+				PStack: 0.1, PAlloc: 0.05, PScanHeap: 0.1,
+				PWritePage: 0.5, WriteRO: 0.3, WriteRMW: 0.2,
+				ReadPassWrite: 0.01, PBackWrite: 0.005,
+				PSeq: 0.3, PHotData: 0.3, HotDataFrac: 0.25, PHotWrite: 0.3,
+				WindowPages: 2,
+			},
+			Shared:         []string{"img"},
+			PersistentData: "file",
+		}
+	}
+	return Spec{
+		Name:   "mini",
+		Images: map[string]int{"img": 4},
+		Files:  map[string]int{"file": 8},
+		Background: []JobSpec{{
+			Params: JobParams{
+				Name: "bg", HotCodeFrac: 0.2, DataPages: 8,
+				PIFetch: 0.6, PJump: 0.05, PFarJump: 0.1,
+				PWritePage: 0.3, WriteRO: 0.3, WriteRMW: 0.2,
+				PSeq: 0.3, WindowPages: 2,
+			},
+			Shared: []string{"img"},
+		}},
+		Foreground: []JobSpec{small("fg1", 3000), small("fg2", 2000)},
+		Monitors: []MonitorSpec{{
+			Spec:   small("mon", 500),
+			Period: 5000,
+		}},
+		Quantum: 100,
+	}
+}
+
+func TestScriptProducesInterleavedStream(t *testing.T) {
+	env := newFakeEnv()
+	s := NewScript(env, 1, miniSpec())
+	pids := map[int32]int{}
+	for i := 0; i < 30000; i++ {
+		r, ok := s.Next()
+		if !ok {
+			t.Fatal("script ran dry with a background job")
+		}
+		pids[r.PID]++
+	}
+	if len(pids) < 4 {
+		t.Errorf("only %d distinct processes seen", len(pids))
+	}
+}
+
+func TestScriptForegroundCycles(t *testing.T) {
+	env := newFakeEnv()
+	s := NewScript(env, 1, miniSpec())
+	// fg1 (3000) + fg2 (2000) = one cycle of 5000 fg refs; run enough
+	// that the cycle wraps several times.
+	for i := 0; i < 40000; i++ {
+		s.Next()
+	}
+	// The foreground keeps running: scheduler holds bg + fg (+ maybe
+	// monitor).
+	if s.Scheduler().Len() < 2 {
+		t.Errorf("scheduler drained to %d tasks", s.Scheduler().Len())
+	}
+	if s.Runnable() != s.Scheduler().Len() {
+		t.Error("Runnable disagrees with scheduler")
+	}
+}
+
+func TestScriptMonitorsRespawn(t *testing.T) {
+	env := newFakeEnv()
+	s := NewScript(env, 1, miniSpec())
+	names := map[string]bool{}
+	monitorSeen := 0
+	last := false
+	for i := 0; i < 60000; i++ {
+		s.Next()
+		cur := false
+		for _, task := range s.Scheduler().Tasks() {
+			names[task.Name] = true
+			if task.Name == "mon" {
+				cur = true
+			}
+		}
+		if cur && !last {
+			monitorSeen++
+		}
+		last = cur
+	}
+	if monitorSeen < 2 {
+		t.Errorf("monitor spawned %d times, want recurring", monitorSeen)
+	}
+	if !names["fg1"] || !names["fg2"] || !names["bg"] {
+		t.Errorf("tasks seen: %v", names)
+	}
+}
+
+func TestScriptPersistentRegionsSurviveJobs(t *testing.T) {
+	env := newFakeEnv()
+	s := NewScript(env, 1, miniSpec())
+	var file vm.Region
+	for r := range env.regions {
+		if r.N == 8 && env.regions[r] == vm.Data && r.Start >= 1<<18 { // file region in its own segment
+			file = r
+		}
+	}
+	if file.N == 0 {
+		t.Fatal("persistent file region not created")
+	}
+	for i := 0; i < 30000; i++ {
+		s.Next()
+	}
+	if _, ok := env.regions[file]; !ok {
+		t.Error("persistent region released by job churn")
+	}
+}
+
+func TestScriptUnknownImagePanics(t *testing.T) {
+	spec := miniSpec()
+	spec.Foreground[0].Shared = []string{"nope"}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown image accepted")
+		}
+	}()
+	NewScript(newFakeEnv(), 1, spec)
+}
+
+func TestScriptUnknownFilePanics(t *testing.T) {
+	spec := miniSpec()
+	spec.Foreground[0].PersistentData = "nope"
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown file accepted")
+		}
+	}()
+	NewScript(newFakeEnv(), 1, spec)
+}
+
+func TestScriptROFilesDupPanics(t *testing.T) {
+	spec := miniSpec()
+	spec.ROFiles = map[string]int{"file": 4}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Files/ROFiles name accepted")
+		}
+	}()
+	NewScript(newFakeEnv(), 1, spec)
+}
+
+func TestScriptDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []trace.Rec {
+		env := newFakeEnv()
+		s := NewScript(env, seed, miniSpec())
+		out := make([]trace.Rec, 0, 2000)
+		for i := 0; i < 2000; i++ {
+			r, _ := s.Next()
+			out = append(out, r)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at ref %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestSpecsInstantiate(t *testing.T) {
+	// Every shipped spec must build and stream against a fake env.
+	specs := []Spec{Workload1Spec(), SLCSpec()}
+	for _, h := range SpriteHosts() {
+		specs = append(specs, h.Spec())
+	}
+	for _, spec := range specs {
+		env := newFakeEnv()
+		s := NewScript(env, 1, spec)
+		for i := 0; i < 5000; i++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatalf("%s ran dry", spec.Name)
+			}
+		}
+	}
+}
+
+func TestSpriteHostsMatchPaper(t *testing.T) {
+	hosts := SpriteHosts()
+	if len(hosts) != 6 {
+		t.Fatalf("%d hosts, want 6", len(hosts))
+	}
+	wantMem := []int{8, 8, 8, 12, 12, 16}
+	wantUp := []int{70, 37, 46, 45, 36, 119}
+	for i, h := range hosts {
+		if h.MemMB != wantMem[i] || h.UptimeHours != wantUp[i] {
+			t.Errorf("host %d = %+v", i, h)
+		}
+	}
+}
+
+func TestWindowSpecValidAndStreams(t *testing.T) {
+	spec := WindowSpec()
+	if err := ValidateSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	env := newFakeEnv()
+	s := NewScript(env, 1, spec)
+	writes := 0
+	for i := 0; i < 20000; i++ {
+		r, ok := s.Next()
+		if !ok {
+			t.Fatal("window workload ran dry")
+		}
+		if r.Op == trace.OpWrite {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("no writes")
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+// SLCSpec is the paper's second workload: "the SPUR Common Lisp system and
+// the SPUR lisp compiler compiling a set of benchmark programs" [Zorn87].
+//
+// The model is one long-running Lisp process: a large shared image, a
+// persistent data area holding the system's loaded world plus the benchmark
+// sources, and a consing heap that churns through fresh zero-fill
+// generations as the compiler allocates (old generations die to the
+// collector and are released). Heap churn is the workload's N_zfod engine;
+// the page-level writing-pass/reading-pass mix drives the dirty-bit events.
+func SLCSpec() Spec {
+	return Spec{
+		Name: "SLC",
+		Images: map[string]int{
+			"lisp": 260, // the Lisp system + compiler image
+		},
+		Files: map[string]int{
+			"world": 970, // loaded Lisp world and benchmark sources
+		},
+		Background: []JobSpec{{
+			Params: JobParams{
+				Name:        "slc",
+				HotCodeFrac: 0.04,
+				HeapPages:   200,
+				StackPages:  6,
+				PIFetch:     0.54,
+				PJump:       0.06,
+				PFarJump:    0.20,
+				PStack:      0.10,
+				// Consing rate: fresh heap blocks per data op. Each
+				// exhausted generation is collected and a fresh one
+				// allocated, so this sets N_zfod per reference.
+				PAlloc: 0.024,
+				// The mutator re-reads live structure it just built.
+				PScanHeap: 0.30,
+				// Property lists and tables are updated in place; most
+				// of the world is read (macro definitions, sources).
+				PWritePage:    0.17,
+				WriteRO:       0.30,
+				WriteRMW:      0.24,
+				ReadPassWrite: 0.001, PBackWrite: 0.006,
+				PSeq:          0.17,
+				PHotData:      0.55,
+				HotDataFrac:   0.25,
+				PHotWrite:     0.30,
+				PRevisitWrite: 0,
+				WindowPages:   8,
+			},
+			Shared:         []string{"lisp"},
+			PersistentData: "world",
+		}},
+		Quantum: 20_000,
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteSpec serializes a Spec as indented JSON, so shipped workloads can be
+// dumped, edited, and re-run without recompiling.
+func WriteSpec(w io.Writer, s Spec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSpec parses a JSON Spec and validates it.
+func ReadSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if err := ValidateSpec(s); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ValidateSpec checks a Spec's cross-references and parameter sanity before
+// instantiation, so a hand-edited spec fails with a message instead of a
+// panic mid-run.
+func ValidateSpec(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if len(s.Background)+len(s.Foreground) == 0 {
+		return fmt.Errorf("workload %s: no jobs", s.Name)
+	}
+	for name, pages := range s.Images {
+		if pages <= 0 {
+			return fmt.Errorf("workload %s: image %q has %d pages", s.Name, name, pages)
+		}
+	}
+	for name, pages := range s.Files {
+		if pages <= 0 {
+			return fmt.Errorf("workload %s: file %q has %d pages", s.Name, name, pages)
+		}
+		if _, dup := s.ROFiles[name]; dup {
+			return fmt.Errorf("workload %s: %q in both Files and ROFiles", s.Name, name)
+		}
+	}
+	for name, pages := range s.ROFiles {
+		if pages <= 0 {
+			return fmt.Errorf("workload %s: ro-file %q has %d pages", s.Name, name, pages)
+		}
+	}
+	check := func(kind string, js JobSpec, background bool) error {
+		p := js.Params
+		where := fmt.Sprintf("workload %s: %s job %q", s.Name, kind, p.Name)
+		if !background && p.Refs <= 0 {
+			return fmt.Errorf("%s: Refs must be positive", where)
+		}
+		if p.PIFetch < 0 || p.PIFetch >= 1 {
+			return fmt.Errorf("%s: PIFetch %v out of [0,1)", where, p.PIFetch)
+		}
+		if p.WriteRO+p.WriteRMW > 1 {
+			return fmt.Errorf("%s: WriteRO+WriteRMW > 1", where)
+		}
+		for _, img := range js.Shared {
+			if _, ok := s.Images[img]; !ok {
+				return fmt.Errorf("%s: unknown image %q", where, img)
+			}
+		}
+		if js.PersistentData != "" {
+			if _, ok := s.Files[js.PersistentData]; !ok {
+				return fmt.Errorf("%s: unknown file %q", where, js.PersistentData)
+			}
+		} else if p.DataPages <= 0 {
+			return fmt.Errorf("%s: needs DataPages or PersistentData", where)
+		}
+		if js.PersistentSource != "" {
+			if _, ok := s.ROFiles[js.PersistentSource]; !ok {
+				return fmt.Errorf("%s: unknown ro-file %q", where, js.PersistentSource)
+			}
+		}
+		if p.CodePages <= 0 && len(js.Shared) == 0 {
+			return fmt.Errorf("%s: no code to fetch", where)
+		}
+		return nil
+	}
+	for _, js := range s.Background {
+		if err := check("background", js, true); err != nil {
+			return err
+		}
+	}
+	for _, js := range s.Foreground {
+		if err := check("foreground", js, false); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.Monitors {
+		if err := check("monitor", m.Spec, false); err != nil {
+			return err
+		}
+		if m.Period <= 0 {
+			return fmt.Errorf("workload %s: monitor %q period %d", s.Name, m.Spec.Params.Name, m.Period)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{Workload1Spec(), SLCSpec(), SpriteHosts()[0].Spec(), miniSpec()} {
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, spec); err != nil {
+			t.Fatalf("%s: write: %v", spec.Name, err)
+		}
+		got, err := ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", spec.Name, err)
+		}
+		if got.Name != spec.Name || len(got.Foreground) != len(spec.Foreground) ||
+			len(got.Background) != len(spec.Background) || len(got.Monitors) != len(spec.Monitors) {
+			t.Errorf("%s: round trip lost structure", spec.Name)
+		}
+		if len(got.Foreground) > 0 && got.Foreground[0].Params != spec.Foreground[0].Params {
+			t.Errorf("%s: job params changed in round trip", spec.Name)
+		}
+		// The round-tripped spec still instantiates and streams.
+		env := newFakeEnv()
+		s := NewScript(env, 1, got)
+		for i := 0; i < 2000; i++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatalf("%s: round-tripped spec ran dry", spec.Name)
+			}
+		}
+	}
+}
+
+func TestValidateSpecShippedSpecsPass(t *testing.T) {
+	specs := []Spec{Workload1Spec(), SLCSpec()}
+	for _, h := range SpriteHosts() {
+		specs = append(specs, h.Spec())
+	}
+	for _, s := range specs {
+		if err := ValidateSpec(s); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateSpecCatches(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"no jobs", func(s *Spec) { s.Foreground, s.Background = nil, nil }, "no jobs"},
+		{"bad image", func(s *Spec) { s.Images["img"] = 0 }, "image"},
+		{"bad refs", func(s *Spec) { s.Foreground[0].Params.Refs = 0 }, "Refs"},
+		{"bad pifetch", func(s *Spec) { s.Foreground[0].Params.PIFetch = 2 }, "PIFetch"},
+		{"unknown image", func(s *Spec) { s.Foreground[0].Shared = []string{"ghost"} }, "unknown image"},
+		{"unknown file", func(s *Spec) { s.Foreground[0].PersistentData = "ghost" }, "unknown file"},
+		{"no code", func(s *Spec) { s.Foreground[0].Shared = nil }, "no code"},
+		{"bad period", func(s *Spec) { s.Monitors[0].Period = 0 }, "period"},
+		{"dup file", func(s *Spec) { s.ROFiles = map[string]int{"file": 4} }, "both Files and ROFiles"},
+	}
+	for _, c := range cases {
+		s := miniSpec()
+		c.mutate(&s)
+		err := ValidateSpec(s)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReadSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ReadSpec(strings.NewReader(`{"Name":"x","Bogus":1}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestReadSpecRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

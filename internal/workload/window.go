@@ -1,0 +1,110 @@
+package workload
+
+// WindowSpec is the workload the paper says it is missing: "This workload
+// lacks any window activity, a major deficiency for a workstation
+// environment. Unfortunately, no window system currently runs on SPUR, so
+// it is not possible to include this behavior."
+//
+// This spec models the 1989 workstation window stack the authors would have
+// run: a window server owning a large writable frame buffer and font/bitmap
+// caches, client applications (terminal emulators, a clock, an editor)
+// streaming redraw requests at it, and the same background compile load as
+// WORKLOAD1's foreground. Window traffic is write-heavy into long-lived
+// shared-fate pages (the frame buffer re-dirties endlessly, so dirty bits
+// buy little there) while client heaps churn zero-fill pages — a usefully
+// different mix from both WORKLOAD1 and SLC.
+func WindowSpec() Spec {
+	client := func(name string, refs int64, data string) JobSpec {
+		return JobSpec{
+			Params: JobParams{
+				Name: name, Refs: refs,
+				HotCodeFrac: 0.04,
+				HeapPages:   60, StackPages: 3,
+				PIFetch: 0.56, PJump: 0.05, PFarJump: 0.12,
+				PStack: 0.10, PAlloc: 0.05, PScanHeap: 0.12,
+				PWritePage: 0.45, WriteRO: 0.3, WriteRMW: 0.24,
+				ReadPassWrite: 0.001, PBackWrite: 0.005,
+				PSeq: 0.25, PHotData: 0.5, HotDataFrac: 0.3, PHotWrite: 0.3,
+				WindowPages: 6,
+			},
+			Shared:         []string{"libX", "apps"},
+			PersistentData: data,
+		}
+	}
+	return Spec{
+		Name: "WINDOW",
+		Images: map[string]int{
+			"server": 140, // the window server
+			"libX":   90,  // client-side library
+			"apps":   120, // terminal emulator, clock, editor text
+			"cc":     130,
+		},
+		Files: map[string]int{
+			// The frame buffer plus the server's pixmap/font caches:
+			// large, writable, re-dirtied continuously.
+			"framebuf": 520,
+			"fonts":    130,
+			"term-a":   90,
+			"term-b":   90,
+			"editbuf":  110,
+			"src":      160,
+		},
+		Background: []JobSpec{{
+			// The window server: constant write traffic into the frame
+			// buffer (damage repaint), reads from the font cache.
+			Params: JobParams{
+				Name:        "wm-server",
+				HotCodeFrac: 0.04,
+				HeapPages:   50, StackPages: 4,
+				PIFetch: 0.52, PJump: 0.05, PFarJump: 0.1,
+				PStack: 0.06, PAlloc: 0.01, PScanHeap: 0.08,
+				// Repaints write whole regions at once.
+				PWritePage: 0.75, WriteRO: 0.15, WriteRMW: 0.2,
+				ReadPassWrite: 0.001, PBackWrite: 0.004,
+				PSeq: 0.3, PHotData: 0.6, HotDataFrac: 0.25, PHotWrite: 0.55,
+				WindowPages: 8,
+			},
+			Shared:         []string{"server"},
+			PersistentData: "framebuf",
+		}},
+		Foreground: []JobSpec{
+			client("xterm-a", 350_000, "term-a"),
+			{
+				Params: JobParams{
+					Name: "cc-bg", Refs: 700_000, HotCodeFrac: 0.04,
+					HeapPages: 150, StackPages: 4,
+					PIFetch: 0.55, PJump: 0.05, PFarJump: 0.15,
+					PStack: 0.10, PAlloc: 0.20, PScanHeap: 0.15,
+					PWritePage: 0.50, WriteRO: 0.3, WriteRMW: 0.24,
+					ReadPassWrite: 0.001, PBackWrite: 0.005,
+					PSeq: 0.22, PHotData: 0.55, HotDataFrac: 0.4, PHotWrite: 0.3,
+					WindowPages: 6,
+				},
+				Shared:         []string{"cc"},
+				PersistentData: "src",
+			},
+			client("editor", 450_000, "editbuf"),
+			client("xterm-b", 300_000, "term-b"),
+		},
+		Monitors: []MonitorSpec{{
+			// The clock redraws every so often: a tiny client that
+			// writes a corner of the frame buffer.
+			Spec: JobSpec{
+				Params: JobParams{
+					Name: "xclock", Refs: 15_000, HotCodeFrac: 0.1,
+					HeapPages: 2, StackPages: 1,
+					PIFetch: 0.55, PJump: 0.05, PFarJump: 0.1,
+					PStack: 0.08, PAlloc: 0.01, PScanHeap: 0.02,
+					PWritePage: 0.8, WriteRO: 0.1, WriteRMW: 0.2,
+					ReadPassWrite: 0.001, PBackWrite: 0.002,
+					PSeq: 0.4, PHotData: 0.6, HotDataFrac: 0.5, PHotWrite: 0.6,
+					WindowPages: 2,
+				},
+				Shared:         []string{"libX"},
+				PersistentData: "fonts",
+			},
+			Period: 350_000,
+		}},
+		Quantum: 20_000,
+	}
+}

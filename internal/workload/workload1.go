@@ -1,0 +1,207 @@
+package workload
+
+// Workload1Spec is the paper's WORKLOAD1: "a moderately heavy load for a CAD
+// tool developer. This script includes the compilation of several modules
+// plus the link and debug of a 12000 line CAD tool (espresso). The same CAD
+// tool runs in the background optimizing a large PLA. Other edit, compile,
+// and miscellaneous commands manipulate files and directories. In addition,
+// two performance monitor programs periodically report status."
+//
+// The paper's run executed on the prototype for 2500-3000 s (~10^10
+// references); this spec reproduces the same page-level event structure at
+// the reference scale the machine config chooses (default ~2x10^7), with
+// file-backed regions persistent across command instances (the Sprite file
+// cache) and fresh zero-fill heap per command instance. The parameters were
+// calibrated against Table 3.3's ratios (see cmd/calibrate).
+func Workload1Spec() Spec {
+	compile := func(module string) JobSpec {
+		return JobSpec{
+			Params: JobParams{
+				Name:          "cc-" + module,
+				Refs:          700_000,
+				HotCodeFrac:   0.04,
+				HeapPages:     150,
+				StackPages:    4,
+				PIFetch:       0.55,
+				PJump:         0.05,
+				PFarJump:      0.15,
+				PStack:        0.10,
+				PAlloc:        0.20, // consing-heavy at our reference scale
+				PScanHeap:     0.15,
+				PWritePage:    0.50, // object/symbol pages are written at once
+				WriteRO:       0.30,
+				WriteRMW:      0.24,
+				ReadPassWrite: 0.001, PBackWrite: 0.005,
+				PSeq:          0.22,
+				PHotData:      0.55,
+				HotDataFrac:   0.58,
+				PHotWrite:     0.30,
+				PRevisitWrite: 0,
+				WindowPages:   6,
+			},
+			Shared:         []string{"cc"},
+			PersistentData: "src-" + module,
+		}
+	}
+
+	return Spec{
+		Name: "WORKLOAD1",
+		Images: map[string]int{
+			"cc":       130, // the compiler
+			"espresso": 90,  // the CAD tool
+			"editor":   70,
+			"ld":       50,
+			"utils":    40,
+			"monitor":  12,
+		},
+		Files: map[string]int{
+			"src-a":    80,
+			"src-b":    80,
+			"src-c":    85,
+			"src-d":    75,
+			"pla":      480, // the large PLA being optimized
+			"editbuf":  64,
+			"objs":     160, // objects + libraries the linker reads
+			"symtab":   160, // debugger's symbol universe
+			"miscdirs": 40,
+			"monlog":   16,
+		},
+		Background: []JobSpec{{
+			Params: JobParams{
+				Name:          "espresso-bg",
+				HotCodeFrac:   0.04,
+				HeapPages:     160,
+				StackPages:    4,
+				PIFetch:       0.55,
+				PJump:         0.04,
+				PFarJump:      0.10,
+				PStack:        0.06,
+				PAlloc:        0.010,
+				PScanHeap:     0.20,
+				PWritePage:    0.42, // cube tables rewritten pass by pass
+				WriteRO:       0.30,
+				WriteRMW:      0.24,
+				ReadPassWrite: 0.001, PBackWrite: 0.005,
+				PSeq:          0.19,
+				PHotData:      0.55,
+				HotDataFrac:   0.58,
+				PHotWrite:     0.30,
+				PRevisitWrite: 0,
+				WindowPages:   10,
+			},
+			Shared:         []string{"espresso"},
+			PersistentData: "pla",
+		}},
+		Foreground: []JobSpec{
+			{
+				Params: JobParams{
+					Name: "edit", Refs: 300_000, HotCodeFrac: 0.04,
+					HeapPages: 40, StackPages: 3,
+					PIFetch: 0.58, PJump: 0.05, PFarJump: 0.1,
+					PStack: 0.12, PAlloc: 0.02, PScanHeap: 0.1,
+					PWritePage: 0.40, WriteRO: 0.3, WriteRMW: 0.24,
+					ReadPassWrite: 0.001, PBackWrite: 0.005, PSeq: 0.19,
+					PHotData:      0.55,
+					HotDataFrac:   0.58,
+					PHotWrite:     0.30,
+					PRevisitWrite: 0, WindowPages: 4,
+				},
+				Shared:         []string{"editor"},
+				PersistentData: "editbuf",
+			},
+			compile("a"),
+			compile("b"),
+			{
+				Params: JobParams{
+					Name: "ld", Refs: 400_000, HotCodeFrac: 0.04,
+					HeapPages: 90, StackPages: 3,
+					PIFetch: 0.52, PJump: 0.04, PFarJump: 0.1,
+					PStack: 0.08, PAlloc: 0.035, PScanHeap: 0.1,
+					PWritePage: 0.30, WriteRO: 0.3, WriteRMW: 0.24,
+					ReadPassWrite: 0.001, PBackWrite: 0.005, PSeq: 0.25,
+					PHotData:      0.55,
+					HotDataFrac:   0.58,
+					PHotWrite:     0.30,
+					PRevisitWrite: 0, WindowPages: 8,
+				},
+				Shared:         []string{"ld"},
+				PersistentData: "objs",
+			},
+			compile("c"),
+			compile("d"),
+			{
+				Params: JobParams{
+					Name: "dbx", Refs: 450_000, HotCodeFrac: 0.04,
+					HeapPages: 60, StackPages: 4,
+					PIFetch: 0.56, PJump: 0.06, PFarJump: 0.15,
+					PStack: 0.10, PAlloc: 0.015, PScanHeap: 0.1,
+					PWritePage: 0.10, WriteRO: 0.3, WriteRMW: 0.24,
+					ReadPassWrite: 0.001, PBackWrite: 0.005, PSeq: 0.19,
+					PHotData:      0.55,
+					HotDataFrac:   0.58,
+					PHotWrite:     0.30,
+					PRevisitWrite: 0, WindowPages: 12,
+				},
+				Shared:         []string{"editor"},
+				PersistentData: "symtab",
+			},
+			{
+				Params: JobParams{
+					Name: "misc", Refs: 150_000, HotCodeFrac: 0.04,
+					HeapPages: 20, StackPages: 2,
+					PIFetch: 0.58, PJump: 0.05, PFarJump: 0.1,
+					PStack: 0.12, PAlloc: 0.03, PScanHeap: 0.05,
+					PWritePage: 0.40, WriteRO: 0.3, WriteRMW: 0.24,
+					ReadPassWrite: 0.001, PBackWrite: 0.005, PSeq: 0.22,
+					PHotData:      0.55,
+					HotDataFrac:   0.58,
+					PHotWrite:     0.30,
+					PRevisitWrite: 0, WindowPages: 4,
+				},
+				Shared:         []string{"utils"},
+				PersistentData: "miscdirs",
+			},
+		},
+		Monitors: []MonitorSpec{
+			{
+				Spec: JobSpec{
+					Params: JobParams{
+						Name: "vmstat", Refs: 30_000, HotCodeFrac: 0.04,
+						HeapPages: 4, StackPages: 2,
+						PIFetch: 0.55, PJump: 0.05, PFarJump: 0.1,
+						PStack: 0.1, PAlloc: 0.02, PScanHeap: 0.05,
+						PWritePage: 0.5, WriteRO: 0.25, WriteRMW: 0.24,
+						ReadPassWrite: 0.001, PBackWrite: 0.005, PSeq: 0.28,
+						PHotData:      0.55,
+						HotDataFrac:   0.58,
+						PHotWrite:     0.30,
+						PRevisitWrite: 0, WindowPages: 4,
+					},
+					Shared:         []string{"monitor"},
+					PersistentData: "monlog",
+				},
+				Period: 450_000,
+			},
+			{
+				Spec: JobSpec{
+					Params: JobParams{
+						Name: "cpustat", Refs: 25_000, HotCodeFrac: 0.04,
+						HeapPages: 4, StackPages: 2,
+						PIFetch: 0.55, PJump: 0.05, PFarJump: 0.1,
+						PStack: 0.1, PAlloc: 0.02, PScanHeap: 0.05,
+						PWritePage: 0.5, WriteRO: 0.25, WriteRMW: 0.24,
+						ReadPassWrite: 0.001, PBackWrite: 0.005, PSeq: 0.28,
+						PHotData:      0.55,
+						HotDataFrac:   0.58,
+						PHotWrite:     0.30,
+						PRevisitWrite: 0, WindowPages: 4,
+					},
+					Shared:         []string{"monitor"},
+					PersistentData: "monlog",
+				},
+				Period: 650_000,
+			},
+		},
+		Quantum: 20_000,
+	}
+}

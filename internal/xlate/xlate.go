@@ -1,0 +1,127 @@
+// Package xlate implements SPUR's in-cache address translation [Wood86].
+//
+// SPUR has no TLB. When a reference misses in the virtual-address cache, the
+// cache controller computes the virtual address of the page's first-level
+// PTE with a shift-and-concatenate circuit and looks for that PTE *in the
+// cache itself*, using the unified cache as a very large TLB. If the PTE's
+// block is not cached, the controller consults the second-level PTE — wired
+// down at a well-known address, so it can be read directly from memory —
+// and fetches the first-level PTE block into the cache (where it then
+// competes with instructions and data for its line frame).
+package xlate
+
+import (
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/coherence"
+	"repro/internal/counters"
+	"repro/internal/pte"
+	"repro/internal/timing"
+)
+
+// Unit is the translation portion of the cache controller.
+type Unit struct {
+	tbl *pte.Table
+	c   *cache.Cache
+	ctr *counters.Set
+	tp  timing.Params
+}
+
+// New wires a translation unit to the page table, the cache it shares with
+// ordinary references, the performance counters, and the timing parameters.
+func New(tbl *pte.Table, c *cache.Cache, ctr *counters.Set, tp timing.Params) *Unit {
+	return &Unit{tbl: tbl, c: c, ctr: ctr, tp: tp}
+}
+
+// Table returns the page table the unit translates against.
+func (u *Unit) Table() *pte.Table { return u.tbl }
+
+// Result reports one translation.
+type Result struct {
+	// Entry is the PTE found; Entry.Valid() false means page fault.
+	Entry pte.Entry
+	// Cycles is the translation cost, excluding the missing reference's
+	// own block fetch.
+	Cycles uint64
+	// PTEHit reports whether the first-level PTE was found in the cache.
+	PTEHit bool
+	// Victim is the block displaced when the PTE block was fetched; only
+	// meaningful when Evicted is true.
+	Victim  cache.Victim
+	Evicted bool
+}
+
+// Translate performs in-cache translation for page p. It is called on every
+// cache miss (and by the WRITE dirty-bit policy's PTE check on write hits to
+// clean blocks).
+func (u *Unit) Translate(p addr.GVPN) Result {
+	u.ctr.Inc(counters.EvXlateWalk)
+	res := Result{Cycles: uint64(u.tp.PTECheckCycles)}
+
+	pteBlock := u.tbl.PTEAddr(p).Block()
+	if u.c.Probe(pteBlock) != nil {
+		u.ctr.Inc(counters.EvPTEHit)
+		res.PTEHit = true
+		res.Entry = u.tbl.Lookup(p)
+		return res
+	}
+
+	// First-level PTE not cached: read the wired second-level PTE directly
+	// from memory, then fetch the first-level PTE block into the cache —
+	// over the snooped bus, so another controller holding the block
+	// exclusively supplies it and degrades to shared ownership.
+	u.ctr.Inc(counters.EvPTEMiss)
+	u.ctr.Inc(counters.EvL2Access)
+	u.ctr.Inc(counters.EvBusRead)
+	res.Cycles += uint64(u.tp.L2WordCycles) + u.tp.BlockFetchCycles()
+	u.c.IssueBus(coherence.BusRead, pteBlock)
+	res.Victim, res.Evicted = u.c.Fill(pteBlock, coherence.UnOwned, pte.ProtKernel, false, true, false)
+	if res.Evicted && res.Victim.WriteBack {
+		u.ctr.Inc(counters.EvBusWrite)
+		res.Cycles += u.tp.WriteBackCycles()
+	}
+	res.Entry = u.tbl.Lookup(p)
+	return res
+}
+
+// UpdatePTE applies a software update to page p's PTE, modelling the fault
+// handler's store through the cache: the PTE block is made resident (if it
+// is not, it is fetched exactly as a write miss would be) and marked
+// modified. The returned cycles cover only the memory-system work; the
+// handler's own ~1000-cycle cost (t_ds) is charged by the caller.
+func (u *Unit) UpdatePTE(p addr.GVPN, fn func(pte.Entry) pte.Entry) (pte.Entry, uint64) {
+	var cycles uint64
+	pteBlock := u.tbl.PTEAddr(p).Block()
+	if l := u.c.Probe(pteBlock); l != nil {
+		// A kernel store to a shared PTE block must take ownership:
+		// other processors' cached copies of the block are invalidated
+		// through the bus, which is how their in-cache "TLB entries"
+		// learn the PTE changed.
+		ns, op, need := coherence.OnLocalWrite(l.State)
+		if need {
+			u.c.IssueBus(op, pteBlock)
+		}
+		l.State = ns
+		l.BlockDirty = true
+	} else {
+		u.ctr.Inc(counters.EvBusRead)
+		cycles += uint64(u.tp.L2WordCycles) + u.tp.BlockFetchCycles()
+		u.c.IssueBus(coherence.BusReadOwn, pteBlock)
+		v, evicted := u.c.Fill(pteBlock, coherence.OwnedExclusive, pte.ProtKernel, false, true, true)
+		if evicted && v.WriteBack {
+			u.ctr.Inc(counters.EvBusWrite)
+			cycles += u.tp.WriteBackCycles()
+		}
+	}
+	return u.tbl.Update(p, fn), cycles
+}
+
+// CheckPTE reads page p's PTE the way the WRITE policy's hardware check
+// does on a write hit to a clean block: it costs a cache probe of the PTE
+// block plus the weighted miss penalty when absent (the paper's t_dc ≈ 5
+// cycles on average).
+func (u *Unit) CheckPTE(p addr.GVPN) (pte.Entry, uint64) {
+	u.ctr.Inc(counters.EvDirtyCheck)
+	res := u.Translate(p)
+	return res.Entry, res.Cycles
+}

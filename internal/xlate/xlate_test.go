@@ -1,0 +1,154 @@
+package xlate
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/counters"
+	"repro/internal/pte"
+	"repro/internal/timing"
+)
+
+const pteSeg = addr.SegmentID(255)
+
+func newUnit() (*Unit, *cache.Cache, *counters.Set) {
+	tbl := pte.NewTable(pteSeg)
+	c := cache.New(128 * 1024)
+	ctr := counters.New()
+	return New(tbl, c, ctr, timing.Default()), c, ctr
+}
+
+func TestTranslateMissThenHit(t *testing.T) {
+	u, _, ctr := newUnit()
+	p := addr.PageIn(3, 17)
+	u.Table().Set(p, pte.Make(7, pte.ProtReadWrite))
+
+	// First translation: PTE block not cached -> L2 access + fetch.
+	r1 := u.Translate(p)
+	if r1.PTEHit {
+		t.Error("first translation hit")
+	}
+	if !r1.Entry.Valid() || r1.Entry.PFN() != 7 {
+		t.Errorf("entry = %v", r1.Entry)
+	}
+	wantMiss := uint64(timing.Default().PTECheckCycles) +
+		uint64(timing.Default().L2WordCycles) + timing.Default().BlockFetchCycles()
+	if r1.Cycles != wantMiss {
+		t.Errorf("miss cycles = %d, want %d", r1.Cycles, wantMiss)
+	}
+
+	// Second translation: the PTE block is now cached.
+	r2 := u.Translate(p)
+	if !r2.PTEHit {
+		t.Error("second translation missed")
+	}
+	if r2.Cycles != uint64(timing.Default().PTECheckCycles) {
+		t.Errorf("hit cycles = %d", r2.Cycles)
+	}
+
+	if ctr.Count(counters.EvXlateWalk) != 2 || ctr.Count(counters.EvPTEHit) != 1 ||
+		ctr.Count(counters.EvPTEMiss) != 1 || ctr.Count(counters.EvL2Access) != 1 {
+		t.Errorf("counter mix: walk=%d hit=%d miss=%d l2=%d",
+			ctr.Count(counters.EvXlateWalk), ctr.Count(counters.EvPTEHit),
+			ctr.Count(counters.EvPTEMiss), ctr.Count(counters.EvL2Access))
+	}
+}
+
+func TestNeighbouringPTEsShareABlock(t *testing.T) {
+	u, _, ctr := newUnit()
+	// Eight consecutive pages' PTEs share one 32-byte block: after
+	// translating the first, the other seven hit.
+	base := addr.PageIn(3, 0)
+	for i := 0; i < pte.PTEsPerBlock; i++ {
+		u.Table().Set(base+addr.GVPN(i), pte.Make(addr.PFN(i), pte.ProtReadOnly))
+	}
+	u.Translate(base)
+	for i := 1; i < pte.PTEsPerBlock; i++ {
+		if r := u.Translate(base + addr.GVPN(i)); !r.PTEHit {
+			t.Errorf("PTE %d did not hit after neighbour fetched", i)
+		}
+	}
+	if ctr.Count(counters.EvPTEMiss) != 1 {
+		t.Errorf("PTE misses = %d, want 1", ctr.Count(counters.EvPTEMiss))
+	}
+}
+
+func TestTranslateInvalidPage(t *testing.T) {
+	u, _, _ := newUnit()
+	r := u.Translate(addr.PageIn(2, 99))
+	if r.Entry.Valid() {
+		t.Error("translation of unmapped page returned valid entry")
+	}
+}
+
+func TestPTECompetesForCacheLines(t *testing.T) {
+	u, c, _ := newUnit()
+	p := addr.PageIn(3, 0)
+	u.Table().Set(p, pte.Make(1, pte.ProtReadOnly))
+	u.Translate(p)
+
+	// A data block that maps to the same line frame evicts the PTE block.
+	pteBlock := u.Table().PTEAddr(p).Block()
+	conflict := pteBlock + addr.BlockAddr(c.Lines())
+	v, evicted := c.Fill(conflict, 1 /* UnOwned */, pte.ProtReadOnly, false, false, false)
+	if !evicted || !v.IsPTE {
+		t.Fatalf("expected PTE victim, got %+v (evicted=%v)", v, evicted)
+	}
+	if r := u.Translate(p); r.PTEHit {
+		t.Error("PTE hit after its block was displaced by data")
+	}
+}
+
+func TestUpdatePTEWhenCached(t *testing.T) {
+	u, c, _ := newUnit()
+	p := addr.PageIn(3, 4)
+	u.Table().Set(p, pte.Make(9, pte.ProtReadOnly))
+	u.Translate(p) // cache the PTE block
+
+	e, cycles := u.UpdatePTE(p, func(e pte.Entry) pte.Entry { return e.WithDirty(true) })
+	if !e.Dirty() || !u.Table().Lookup(p).Dirty() {
+		t.Error("update not applied")
+	}
+	if cycles != 0 {
+		t.Errorf("cached PTE update cost %d cycles", cycles)
+	}
+	l := c.Probe(u.Table().PTEAddr(p).Block())
+	if l == nil || !l.BlockDirty {
+		t.Error("PTE block not marked modified after software update")
+	}
+}
+
+func TestUpdatePTEWhenNotCached(t *testing.T) {
+	u, _, _ := newUnit()
+	p := addr.PageIn(3, 4)
+	u.Table().Set(p, pte.Make(9, pte.ProtReadOnly))
+	_, cycles := u.UpdatePTE(p, func(e pte.Entry) pte.Entry { return e.WithDirty(true) })
+	if cycles == 0 {
+		t.Error("uncached PTE update cost nothing")
+	}
+	if r := u.Translate(p); !r.PTEHit {
+		t.Error("PTE block not resident after update")
+	}
+}
+
+func TestCheckPTE(t *testing.T) {
+	u, _, ctr := newUnit()
+	p := addr.PageIn(3, 8)
+	u.Table().Set(p, pte.Make(2, pte.ProtReadWrite).WithDirty(true))
+	e, cycles := u.CheckPTE(p)
+	if !e.Dirty() {
+		t.Error("CheckPTE returned wrong entry")
+	}
+	if cycles == 0 {
+		t.Error("CheckPTE free")
+	}
+	if ctr.Count(counters.EvDirtyCheck) != 1 {
+		t.Error("dirty-check not counted")
+	}
+	// Second check is the cheap cached case (t_dc's 3-cycle component).
+	_, cycles = u.CheckPTE(p)
+	if cycles != uint64(timing.Default().PTECheckCycles) {
+		t.Errorf("cached check = %d cycles", cycles)
+	}
+}

@@ -1,0 +1,113 @@
+package spur
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// MemorySweepRow is one point of the memory-size study: a workload at one
+// memory size under one reference-bit policy.
+type MemorySweepRow struct {
+	Workload core.WorkloadName
+	MemMB    int
+	Policy   RefPolicy
+	Result   Result
+}
+
+// MemorySweepOptions parameterises the sweep.
+type MemorySweepOptions struct {
+	// SizesMB defaults to 4..16 MB (the paper sweeps only 5, 6, 8 and
+	// closes with "we are conducting further studies to evaluate ...
+	// larger memory sizes").
+	SizesMB []int
+	// Policies defaults to all three reference-bit policies.
+	Policies []RefPolicy
+	// Workloads defaults to both.
+	Workloads []core.WorkloadName
+	Refs      int64
+	Seed      uint64
+}
+
+func (o *MemorySweepOptions) fill() {
+	if len(o.SizesMB) == 0 {
+		o.SizesMB = []int{4, 5, 6, 7, 8, 10, 12, 16}
+	}
+	if len(o.Policies) == 0 {
+		o.Policies = RefPolicies
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = []core.WorkloadName{core.SLC, core.Workload1}
+	}
+	if o.Refs == 0 {
+		o.Refs = 8_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// MemorySweep runs the paper's closing question — what happens to
+// reference-bit maintenance as memories keep growing — as a parameter
+// sweep: page-ins and elapsed time for each policy across memory sizes.
+// The paper's prediction: the benefit of reference bits "will tend to
+// decrease and may eventually become a hindrance".
+func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
+	opts.fill()
+	var rows []MemorySweepRow
+	for _, wl := range opts.Workloads {
+		spec := SLC()
+		if wl == core.Workload1 {
+			spec = Workload1()
+		}
+		for _, mb := range opts.SizesMB {
+			for _, pol := range opts.Policies {
+				cfg := DefaultConfig()
+				cfg.MemoryBytes = mb << 20
+				cfg.TotalRefs = opts.Refs
+				cfg.Seed = opts.Seed
+				cfg.Ref = pol
+				rows = append(rows, MemorySweepRow{
+					Workload: wl, MemMB: mb, Policy: pol,
+					Result: Run(cfg, spec),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// MemorySweepChart renders one workload's page-in curves per policy.
+func MemorySweepChart(rows []MemorySweepRow, wl core.WorkloadName) string {
+	ch := &report.Chart{
+		Title:  fmt.Sprintf("Page-ins vs memory size — %s", wl),
+		XLabel: "memory (MB)",
+		YLabel: "page-ins",
+	}
+	for _, pol := range RefPolicies {
+		var xs, ys []float64
+		for _, r := range rows {
+			if r.Workload == wl && r.Policy == pol {
+				xs = append(xs, float64(r.MemMB))
+				ys = append(ys, float64(r.Result.Events.PageIns))
+			}
+		}
+		if len(xs) > 0 {
+			ch.AddSeries(pol.String(), xs, ys)
+		}
+	}
+	return ch.String()
+}
+
+// MemorySweepCSV renders the sweep as CSV for external plotting.
+func MemorySweepCSV(rows []MemorySweepRow) string {
+	s := "workload,mem_mb,policy,page_ins,ref_faults,ref_clears,page_flushes,elapsed_s,cycles\n"
+	for _, r := range rows {
+		ev := r.Result.Events
+		s += fmt.Sprintf("%s,%d,%s,%d,%d,%d,%d,%.2f,%d\n",
+			r.Workload, r.MemMB, r.Policy, ev.PageIns, ev.RefFaults,
+			ev.RefClears, ev.PageFlushes, r.Result.ElapsedSeconds, r.Result.Cycles)
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package spur
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Table41Options parameterises the reference-bit experiment.
+type Table41Options struct {
+	// Refs per run; 0 uses the default reference scale.
+	Refs int64
+	// Reps is the number of repetitions per data point (the paper ran
+	// five, with a randomized experiment design); 0 means 3.
+	Reps int
+	// Seed drives both the workloads and the run-order randomization.
+	Seed uint64
+	// SizesMB defaults to the paper's {5, 6, 8}.
+	SizesMB []int
+}
+
+func (o *Table41Options) fill() {
+	if o.Refs == 0 {
+		o.Refs = DefaultConfig().TotalRefs
+	}
+	if o.Reps == 0 {
+		o.Reps = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.SizesMB) == 0 {
+		o.SizesMB = MemorySizesMB
+	}
+}
+
+// Table41Row is one measured cell of Table 4.1: a workload, memory size and
+// reference-bit policy, with page-ins and elapsed time averaged over the
+// repetitions and expressed relative to the MISS policy.
+type Table41Row struct {
+	Workload core.WorkloadName
+	MemMB    int
+	Policy   RefPolicy
+
+	PageIns   stats.Summary
+	Elapsed   stats.Summary // seconds
+	RefFaults stats.Summary
+	Flushes   stats.Summary
+
+	// RelPageIns and RelElapsed are the ratios to the MISS policy at the
+	// same workload and memory size (1.0 for MISS itself).
+	RelPageIns float64
+	RelElapsed float64
+}
+
+// Table41 runs the reference-bit policy comparison: MISS, REF and NOREF on
+// both workloads at each memory size, with randomized run order across
+// repetitions, reproducing Table 4.1.
+func Table41(opts Table41Options) []Table41Row {
+	opts.fill()
+
+	type point struct {
+		wl     core.WorkloadName
+		mb     int
+		policy RefPolicy
+		rep    int
+	}
+	var runs []point
+	for _, wl := range []core.WorkloadName{core.SLC, core.Workload1} {
+		for _, mb := range opts.SizesMB {
+			for _, pol := range RefPolicies {
+				for rep := 0; rep < opts.Reps; rep++ {
+					runs = append(runs, point{wl, mb, pol, rep})
+				}
+			}
+		}
+	}
+	// Randomized experiment design: the execution order of the data
+	// points is shuffled (deterministically per seed).
+	stats.Shuffle(runs, opts.Seed*0x9e3779b9+7)
+
+	type key struct {
+		wl     core.WorkloadName
+		mb     int
+		policy RefPolicy
+	}
+	samples := map[key]*struct{ pageIns, elapsed, refFaults, flushes []float64 }{}
+	for _, r := range runs {
+		cfg := DefaultConfig()
+		cfg.MemoryBytes = r.mb << 20
+		cfg.TotalRefs = opts.Refs
+		cfg.Seed = opts.Seed + uint64(r.rep)*1315423911
+		cfg.Ref = r.policy
+		spec := SLC()
+		if r.wl == core.Workload1 {
+			spec = Workload1()
+		}
+		res := Run(cfg, spec)
+		k := key{r.wl, r.mb, r.policy}
+		s := samples[k]
+		if s == nil {
+			s = &struct{ pageIns, elapsed, refFaults, flushes []float64 }{}
+			samples[k] = s
+		}
+		s.pageIns = append(s.pageIns, float64(res.Events.PageIns))
+		s.elapsed = append(s.elapsed, res.ElapsedSeconds)
+		s.refFaults = append(s.refFaults, float64(res.Events.RefFaults))
+		s.flushes = append(s.flushes, float64(res.Events.PageFlushes))
+	}
+
+	var rows []Table41Row
+	for _, wl := range []core.WorkloadName{core.SLC, core.Workload1} {
+		for _, mb := range opts.SizesMB {
+			base := samples[key{wl, mb, RefMISS}]
+			basePage := stats.Summarize(base.pageIns).Mean
+			baseElapsed := stats.Summarize(base.elapsed).Mean
+			for _, pol := range RefPolicies {
+				s := samples[key{wl, mb, pol}]
+				row := Table41Row{
+					Workload:  wl,
+					MemMB:     mb,
+					Policy:    pol,
+					PageIns:   stats.Summarize(s.pageIns),
+					Elapsed:   stats.Summarize(s.elapsed),
+					RefFaults: stats.Summarize(s.refFaults),
+					Flushes:   stats.Summarize(s.flushes),
+				}
+				if basePage > 0 {
+					row.RelPageIns = row.PageIns.Mean / basePage
+				}
+				if baseElapsed > 0 {
+					row.RelElapsed = row.Elapsed.Mean / baseElapsed
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows
+}
+
+// RenderTable41 renders measured rows in the paper's Table 4.1 layout; with
+// paper=true each policy row carries the published values alongside.
+func RenderTable41(rows []Table41Row, paper bool) *report.Table {
+	t := &report.Table{
+		Title: "Table 4.1: Reference Bit Results",
+		Header: []string{"Workload", "Memory(MB)", "Policy",
+			"Page-Ins", "(rel)", "Elapsed(s)", "(rel)", "paper pg-ins", "paper elapsed"},
+	}
+	for _, r := range rows {
+		pp, pe := "", ""
+		if paper {
+			if p := paperRow41(r.Workload, r.MemMB, r.Policy); p != nil {
+				pp = fmt.Sprintf("%d (%d%%)", p.PageIns, p.PageInsPct)
+				pe = fmt.Sprintf("%d (%d%%)", p.Elapsed, p.ElapsedPct)
+			}
+		}
+		t.Add(string(r.Workload), r.MemMB, r.Policy.String(),
+			fmt.Sprintf("%.0f", r.PageIns.Mean), report.Pct(r.RelPageIns),
+			fmt.Sprintf("%.0f", r.Elapsed.Mean), report.Pct(r.RelElapsed),
+			pp, pe)
+	}
+	return t
+}
+
+func paperRow41(w core.WorkloadName, mb int, pol RefPolicy) *core.PaperRow41 {
+	for i := range core.PaperTable41 {
+		r := &core.PaperTable41[i]
+		if r.Workload == w && r.MemMB == mb && r.Policy == pol {
+			return r
+		}
+	}
+	return nil
+}
