@@ -7,6 +7,13 @@
 //
 //	spursim -w workload1 -mem 6 -dirty spur -ref miss -refs 20000000
 //	spursim -w slc -mem 5 -dirty fault -counters -mode 2
+//
+// Chaos mode injects deterministic faults and runs hardened (panic
+// recovery, continuous invariant audits, optional deadline); a failure is
+// reported as a repro bundle and exits nonzero:
+//
+//	spursim -w slc -mem 5 -refs 2000000 -chaos pagein-io,dirtybit-flip \
+//	        -chaos-every 1000 -chaos-seed 7 -audit-every 100000 -artifacts ./failures
 package main
 
 import (
@@ -50,6 +57,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	hw := flag.Bool("counters", false, "also dump the 16 hardware counters")
 	mode := flag.Int("mode", 2, "hardware counter mode register (0-3) for -counters")
+	chaos := flag.String("chaos", "", "comma-separated fault kinds to inject: counter-wrap, snoop-drop, snoop-delay, pagein-io, dirtybit-flip, line-corrupt")
+	chaosEvery := flag.Uint64("chaos-every", 10_000, "inject each fault roughly once per N opportunities")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed (0 = exact modular cadence)")
+	auditEvery := flag.Int64("audit-every", 0, "audit machine invariants every N references (0 = final audit only)")
+	artifacts := flag.String("artifacts", "", "directory for JSON repro bundles of failed runs")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -67,6 +80,17 @@ func main() {
 	}
 	if cfg.Ref, err = parseRef(*refp); err != nil {
 		die(err)
+	}
+	if *chaos != "" {
+		for _, name := range strings.Split(*chaos, ",") {
+			k, err := spur.ParseFaultKind(strings.TrimSpace(name))
+			if err != nil {
+				die(err)
+			}
+			cfg.Faults = append(cfg.Faults, spur.FaultPlan{
+				Kind: k, Every: *chaosEvery, Seed: *chaosSeed,
+			})
+		}
 	}
 
 	var spec spur.Spec
@@ -120,7 +144,12 @@ func main() {
 	}
 	m.Ctr.SetMode(*mode) // select the event set before the run, as on the chip
 	script := workload.NewScript(m, cfg.Seed, spec)
-	res := m.Run(script, cfg.TotalRefs)
+	opts := spur.RunOptions{
+		AuditEvery:  *auditEvery,
+		Deadline:    *timeout,
+		ArtifactDir: *artifacts,
+	}
+	res, fail := m.RunHardened(script, cfg.TotalRefs, opts)
 	ev := res.Events
 
 	fmt.Printf("workload=%s mem=%dMB dirty=%s ref=%s refs=%d seed=%d\n\n",
@@ -146,6 +175,17 @@ func main() {
 		for i := 0; i < counters.HardwareCounters; i++ {
 			fmt.Printf("  ctr%-2d %-16s %d\n", i, m.Ctr.HardwareEvent(i), m.Ctr.Hardware(i))
 		}
+	}
+
+	if m.Inject.Active() {
+		fmt.Printf("\nfault injection: %s\n", m.Inject.Summary())
+	}
+	if fail != nil {
+		fmt.Fprintf(os.Stderr, "\nspursim: %v\n", fail)
+		if fail.BundlePath != "" {
+			fmt.Fprintf(os.Stderr, "spursim: repro bundle written to %s\n", fail.BundlePath)
+		}
+		os.Exit(1)
 	}
 }
 

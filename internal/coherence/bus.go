@@ -1,6 +1,9 @@
 package coherence
 
-import "repro/internal/addr"
+import (
+	"repro/internal/addr"
+	"repro/internal/faultinject"
+)
 
 // Snooper is anything attached to the shared bus that watches transactions —
 // in practice, a cache controller. The issuing controller is excluded from
@@ -32,6 +35,16 @@ type Bus struct {
 	// BlockCycles is the occupancy of one data-carrying transaction
 	// (default 10: 3 cycles to the first word + 7 at 1 cycle).
 	BlockCycles uint64
+
+	// Inject, when non-nil, can drop a snooper's view of a transaction
+	// (faultinject.SnoopDrop) or stretch a transaction's occupancy
+	// (faultinject.SnoopDelay). A nil injector is inert.
+	Inject *faultinject.Injector
+
+	// DroppedSnoops counts snooper notifications the injector suppressed;
+	// DelayCycles is the extra occupancy injected delays added.
+	DroppedSnoops uint64
+	DelayCycles   uint64
 }
 
 // NewBus returns an empty bus.
@@ -68,8 +81,19 @@ func (bus *Bus) Issue(from int, op BusOp, b addr.BlockAddr) (supplied, invalidat
 	} else {
 		bus.BusyCycles += bus.BlockCycles
 	}
+	if bus.Inject.Fire(faultinject.SnoopDelay) {
+		// A slow board holds the backplane for an extra block time.
+		bus.BusyCycles += bus.BlockCycles
+		bus.DelayCycles += bus.BlockCycles
+	}
 	for i, s := range bus.snoopers {
 		if i == from {
+			continue
+		}
+		if bus.Inject.Fire(faultinject.SnoopDrop) {
+			// This snooper never sees the transaction: its copy of the
+			// block goes stale, exactly the loss AuditMP exists to catch.
+			bus.DroppedSnoops++
 			continue
 		}
 		r := s.Snoop(op, b)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/coherence"
 	"repro/internal/counters"
+	"repro/internal/faultinject"
 	"repro/internal/pte"
 	"repro/internal/timing"
 	"repro/internal/trace"
@@ -36,6 +37,11 @@ type Engine struct {
 	// SPUR's tag-ignoring one.
 	TagCheckFlush bool
 
+	// Inject, when non-nil, applies per-reference hardware faults: a
+	// forced counter wraparound, a flipped cached page-dirty bit, or a
+	// corrupted line tag. A nil injector is inert.
+	Inject *faultinject.Injector
+
 	// Cycles accumulates reference-processing and fault-handler time.
 	// Total machine time is Cycles + Pager.Cycles.
 	Cycles uint64
@@ -63,6 +69,12 @@ func (e *Engine) Access(r trace.Rec) {
 	b := r.Addr.Block()
 	p := r.Addr.Page()
 
+	if e.Inject != nil && e.Inject.Fire(faultinject.CounterWrap) {
+		// The hardware counters jump to the edge of their 32-bit range;
+		// the software shadow must carry the measurement across.
+		e.Ctr.InjectWraparound(8)
+	}
+
 	switch r.Op {
 	case trace.OpIFetch:
 		e.Ctr.Inc(counters.EvIFetch)
@@ -73,6 +85,7 @@ func (e *Engine) Access(r trace.Rec) {
 	}
 
 	if l := e.Cache.Probe(b); l != nil {
+		e.injectLineFaults(l)
 		// Cache hit: the whole point of a virtual address cache — no
 		// translation, single-cycle access.
 		e.Cycles += uint64(e.TP.HitCycles)
@@ -82,6 +95,25 @@ func (e *Engine) Access(r trace.Rec) {
 		return
 	}
 	e.miss(r.Op, b, p)
+}
+
+// injectLineFaults applies planned soft errors to the line just probed: a
+// flipped cached page-dirty bit (silently corrupting the state the paper's
+// policies maintain) or a corrupted tag (leaving a valid line that belongs
+// to no resident page — the breach the continuous audit must catch). The
+// corrupted tag flips block-address bit 24: the cache index and the segment
+// are preserved, but the line now claims a page ±2^17 pages away, far
+// outside any registered region.
+func (e *Engine) injectLineFaults(l *cache.Line) {
+	if e.Inject == nil {
+		return
+	}
+	if e.Inject.Fire(faultinject.DirtyBitFlip) {
+		l.PageDirty = !l.PageDirty
+	}
+	if !l.IsPTE && e.Inject.Fire(faultinject.LineCorrupt) {
+		l.Addr ^= 1 << 24
+	}
 }
 
 // miss handles a cache miss: translate, fault if needed, apply the

@@ -162,6 +162,17 @@ func (s *Set) HardwareEvent(i int) Event { return modeMap[s.mode][i] }
 // Count returns the 64-bit software-shadow total for event e.
 func (s *Set) Count(e Event) uint64 { return s.shadow[e] }
 
+// InjectWraparound forces every hardware counter to within slack events of
+// the 32-bit limit, so the next few events wrap it to near zero. This is the
+// fault-injection hook exercising the software shadow: the shadow is
+// untouched, so measurements survive the wrap while the hardware-accurate
+// view visibly loses 2^32 counts.
+func (s *Set) InjectWraparound(slack uint32) {
+	for i := range s.hw {
+		s.hw[i] = ^uint32(0) - slack
+	}
+}
+
 // Reset clears the hardware counters and the software shadow.
 func (s *Set) Reset() {
 	s.hw = [HardwareCounters]uint32{}

@@ -119,6 +119,48 @@ func TestDiffSaturates(t *testing.T) {
 	}
 }
 
+// TestShadowSurvivesInjectedWraparound injects a hardware wraparound
+// mid-run — the faultinject.CounterWrap fault — and proves the 64-bit
+// software shadow keeps the true totals while the 32-bit hardware view
+// wraps, across interleaved mode changes as on the chip.
+func TestShadowSurvivesInjectedWraparound(t *testing.T) {
+	s := New()
+	s.SetMode(0)
+	s.Add(EvRead, 1000) // hw[1] in mode 0
+
+	// Fault injection: every hardware counter jumps to 8 below the limit.
+	s.InjectWraparound(8)
+	if got := s.Hardware(1); got != ^uint32(0)-8 {
+		t.Fatalf("hw after injection = %d", got)
+	}
+
+	// The run continues: 100 more reads wrap the hardware counter.
+	s.Add(EvRead, 100)
+	if got := s.Hardware(1); got != 91 { // (2^32-9 + 100) mod 2^32
+		t.Errorf("hw after wrap = %d, want 91", got)
+	}
+	if got := s.Count(EvRead); got != 1100 {
+		t.Errorf("shadow lost counts across the wrap: %d, want 1100", got)
+	}
+
+	// Mode set mid-run (the paper's measurement procedure): the shadow
+	// keeps accumulating every event while the hardware view re-wires.
+	s.SetMode(2)
+	s.Add(EvRead, 50) // hw[10] in mode 2
+	s.Add(EvDirtyFault, 3)
+	if got := s.Count(EvRead); got != 1150 {
+		t.Errorf("shadow after mode set = %d, want 1150", got)
+	}
+	if got := s.Count(EvDirtyFault); got != 3 {
+		t.Errorf("dirty-fault shadow = %d, want 3", got)
+	}
+	// The injected wrap also poisoned mode 2's counters; the wrapped
+	// hardware value is small while the shadow holds the truth.
+	if hw := s.Hardware(10); uint64(hw) == s.Count(EvRead) {
+		t.Error("hardware counter should have diverged from the shadow")
+	}
+}
+
 func TestShadowMatchesManualSum(t *testing.T) {
 	// Property: for any sequence of (event, n) additions, the shadow equals
 	// the arithmetic sum, independent of interleaved mode changes.

@@ -1,0 +1,258 @@
+// Package faultinject is a deterministic, seed-driven fault injector for
+// the SPUR simulator. The paper's whole argument rests on trusting
+// hardware-maintained state — wrapping 32-bit counters shadowed in software,
+// dirty and reference bits that must never be silently lost — so the
+// simulator must be able to *stop* trusting it on demand: inject a counter
+// wraparound here, drop a snoop there, fail a page-in, flip a cached dirty
+// bit, and watch whether the defenses (the 64-bit software shadow, the
+// continuous invariant audits, the hardened runner's retry and quarantine
+// machinery) catch what the hardware lost.
+//
+// Every injection decision is a pure function of the Plan (kind, cadence,
+// seed) and the per-site opportunity counter, never of wall-clock time or
+// map order, so a failing run replays bit-for-bit from its configuration.
+package faultinject
+
+import "fmt"
+
+// Kind identifies one class of injectable fault.
+type Kind int
+
+const (
+	// CounterWrap forces the 16 hardware performance counters to the edge
+	// of their 32-bit range, so the next few events wrap them — the fault
+	// the 64-bit software shadow in internal/counters exists to survive.
+	CounterWrap Kind = iota
+	// SnoopDrop makes the coherence bus skip one snooper's view of a
+	// transaction, modelling a missed snoop: stale copies accumulate and
+	// the coherence invariants (≤1 owner, exclusive means alone) break.
+	SnoopDrop
+	// SnoopDelay holds the bus busy for an extra block time on a
+	// transaction, modelling backplane contention or a slow board.
+	SnoopDelay
+	// PageInIO fails one backing-store read transiently; the pager
+	// retries with backoff and gives up (raising vm.IOError) past its
+	// retry budget.
+	PageInIO
+	// DirtyBitFlip flips the cached page-dirty bit of the line being
+	// accessed — the soft error that silently corrupts the very state
+	// the paper's policies maintain.
+	DirtyBitFlip
+	// LineCorrupt rewrites the tag of the line being accessed to a bogus
+	// address, leaving a valid line that belongs to no resident page —
+	// an invariant breach the continuous audit must catch.
+	LineCorrupt
+
+	NumKinds // number of defined kinds
+)
+
+var kindNames = [NumKinds]string{
+	"counter-wrap", "snoop-drop", "snoop-delay", "pagein-io",
+	"dirtybit-flip", "line-corrupt",
+}
+
+// String returns the short mnemonic for the kind.
+func (k Kind) String() string {
+	if k < 0 || k >= NumKinds {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ParseKind resolves a mnemonic (as printed by String) to its Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if s == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("faultinject: unknown fault kind %q", s)
+}
+
+// Plan schedules one kind of fault. The zero Plan injects nothing.
+type Plan struct {
+	// Kind selects the fault class.
+	Kind Kind `json:"kind"`
+	// Every is the cadence: roughly one fault per Every opportunities
+	// (an opportunity is one call to Fire for the kind — one reference,
+	// one snooped transaction, one backing-store read attempt, …).
+	// Zero disables the plan.
+	Every uint64 `json:"every"`
+	// Seed, when nonzero, spreads the faults pseudo-randomly at rate
+	// 1/Every using a splitmix64 stream; when zero the fault fires
+	// exactly on every Every'th opportunity. Either way the decision
+	// sequence is fully determined by the Plan.
+	Seed uint64 `json:"seed,omitempty"`
+	// Max bounds the total injections of this kind; zero is unlimited.
+	Max uint64 `json:"max,omitempty"`
+}
+
+// Record is one injection that actually happened: the kind and the
+// opportunity index (1-based) at which it fired. The hardened runner saves
+// the record log in repro bundles.
+type Record struct {
+	Kind        Kind   `json:"kind"`
+	Opportunity uint64 `json:"opportunity"`
+}
+
+// logCap bounds the injection log kept for repro bundles.
+const logCap = 4096
+
+type rule struct {
+	plan  Plan
+	seen  uint64 // opportunities offered
+	fired uint64 // faults injected
+	state uint64 // splitmix64 state (seeded plans)
+}
+
+// Injector makes the injection decisions for one machine. A nil *Injector
+// is valid and injects nothing, so components hold one unconditionally.
+type Injector struct {
+	rules [NumKinds]*rule
+	log   []Record
+}
+
+// New builds an injector from the given plans. Two plans for the same kind
+// are a configuration error and panic.
+func New(plans ...Plan) *Injector {
+	in := &Injector{}
+	for _, p := range plans {
+		if p.Kind < 0 || p.Kind >= NumKinds {
+			panic(fmt.Sprintf("faultinject: bad kind %d", int(p.Kind)))
+		}
+		if in.rules[p.Kind] != nil {
+			panic(fmt.Sprintf("faultinject: duplicate plan for %v", p.Kind))
+		}
+		in.rules[p.Kind] = &rule{plan: p, state: p.Seed}
+	}
+	return in
+}
+
+// Active reports whether any plan can still fire.
+func (in *Injector) Active() bool {
+	if in == nil {
+		return false
+	}
+	for _, r := range in.rules {
+		if r != nil && r.plan.Every > 0 && (r.plan.Max == 0 || r.fired < r.plan.Max) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fire offers the injector one opportunity for kind k and reports whether
+// the fault fires now. The decision depends only on the plan and how many
+// opportunities this kind has seen.
+func (in *Injector) Fire(k Kind) bool {
+	if in == nil {
+		return false
+	}
+	r := in.rules[k]
+	if r == nil || r.plan.Every == 0 {
+		return false
+	}
+	r.seen++
+	if r.plan.Max > 0 && r.fired >= r.plan.Max {
+		return false
+	}
+	var fire bool
+	if r.plan.Seed != 0 {
+		fire = splitmix(&r.state)%r.plan.Every == 0
+	} else {
+		fire = r.seen%r.plan.Every == 0
+	}
+	if fire {
+		r.fired++
+		if len(in.log) < logCap {
+			in.log = append(in.log, Record{Kind: k, Opportunity: r.seen})
+		}
+	}
+	return fire
+}
+
+// Pick returns a deterministic index in [0, n) from the kind's stream, for
+// targeting (which line to corrupt, how far to skew a delay). Valid only
+// immediately after Fire(k) returned true; n must be positive.
+func (in *Injector) Pick(k Kind, n int) int {
+	if in == nil || n <= 0 {
+		return 0
+	}
+	r := in.rules[k]
+	if r == nil {
+		return 0
+	}
+	// Derive from the opportunity count, not the jitter stream, so Pick
+	// does not disturb the firing sequence.
+	x := r.seen*0x9e3779b97f4a7c15 ^ r.plan.Seed
+	return int(splitmix(&x) % uint64(n))
+}
+
+// Fired returns how many faults of kind k have been injected.
+func (in *Injector) Fired(k Kind) uint64 {
+	if in == nil || in.rules[k] == nil {
+		return 0
+	}
+	return in.rules[k].fired
+}
+
+// Seen returns how many opportunities kind k has been offered.
+func (in *Injector) Seen(k Kind) uint64 {
+	if in == nil || in.rules[k] == nil {
+		return 0
+	}
+	return in.rules[k].seen
+}
+
+// Log returns the injection record so far (capped at 4096 entries).
+func (in *Injector) Log() []Record {
+	if in == nil {
+		return nil
+	}
+	return in.log
+}
+
+// Plans returns the plans the injector was built with, in Kind order.
+func (in *Injector) Plans() []Plan {
+	if in == nil {
+		return nil
+	}
+	var ps []Plan
+	for _, r := range in.rules {
+		if r != nil {
+			ps = append(ps, r.plan)
+		}
+	}
+	return ps
+}
+
+// Summary renders per-kind injection counts, for run reports.
+func (in *Injector) Summary() string {
+	if in == nil {
+		return "no faults planned"
+	}
+	s := ""
+	for _, r := range in.rules {
+		if r == nil {
+			continue
+		}
+		if s != "" {
+			s += "  "
+		}
+		s += fmt.Sprintf("%v=%d/%d", r.plan.Kind, r.fired, r.seen)
+	}
+	if s == "" {
+		return "no faults planned"
+	}
+	return s
+}
+
+// splitmix is the splitmix64 step, the same generator the workload package
+// uses for reproducible streams.
+func splitmix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

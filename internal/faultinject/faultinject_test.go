@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.Active() || in.Fire(PageInIO) || in.Fired(PageInIO) != 0 {
+		t.Error("nil injector injected something")
+	}
+	if in.Log() != nil || in.Plans() != nil {
+		t.Error("nil injector has state")
+	}
+}
+
+func TestModularCadence(t *testing.T) {
+	in := New(Plan{Kind: DirtyBitFlip, Every: 10})
+	fired := 0
+	for i := 1; i <= 100; i++ {
+		if in.Fire(DirtyBitFlip) {
+			fired++
+			if uint64(i)%10 != 0 {
+				t.Fatalf("fired at opportunity %d, not a multiple of 10", i)
+			}
+		}
+	}
+	if fired != 10 || in.Fired(DirtyBitFlip) != 10 || in.Seen(DirtyBitFlip) != 100 {
+		t.Fatalf("fired=%d Fired=%d Seen=%d", fired, in.Fired(DirtyBitFlip), in.Seen(DirtyBitFlip))
+	}
+}
+
+func TestSeededCadenceIsReproducibleAndRoughlyRated(t *testing.T) {
+	run := func() []Record {
+		in := New(Plan{Kind: SnoopDrop, Every: 50, Seed: 7})
+		for i := 0; i < 100_000; i++ {
+			in.Fire(SnoopDrop)
+		}
+		return in.Log()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same plan produced different injection sequences")
+	}
+	n := len(a)
+	if n < 1500 || n > 2500 { // expect ~2000 = 100k/50
+		t.Errorf("seeded rate off: %d fires for expected ~2000", n)
+	}
+}
+
+func TestMaxBoundsInjections(t *testing.T) {
+	in := New(Plan{Kind: PageInIO, Every: 1, Max: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Fire(PageInIO) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Max=3 but fired %d", fired)
+	}
+	if in.Active() {
+		t.Error("exhausted plan still reports active")
+	}
+}
+
+func TestUnplannedKindNeverFires(t *testing.T) {
+	in := New(Plan{Kind: CounterWrap, Every: 1})
+	for i := 0; i < 10; i++ {
+		if in.Fire(LineCorrupt) {
+			t.Fatal("unplanned kind fired")
+		}
+	}
+	if !in.Fire(CounterWrap) {
+		t.Fatal("planned Every=1 kind did not fire")
+	}
+}
+
+func TestPickDeterministicInRange(t *testing.T) {
+	in := New(Plan{Kind: LineCorrupt, Every: 2, Seed: 3})
+	for i := 0; i < 1000; i++ {
+		if in.Fire(LineCorrupt) {
+			p, q := in.Pick(LineCorrupt, 97), in.Pick(LineCorrupt, 97)
+			if p != q {
+				t.Fatal("Pick not stable between calls")
+			}
+			if p < 0 || p >= 97 {
+				t.Fatalf("Pick out of range: %d", p)
+			}
+		}
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted garbage")
+	}
+}
+
+func TestDuplicatePlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate plan accepted")
+		}
+	}()
+	New(Plan{Kind: PageInIO, Every: 1}, Plan{Kind: PageInIO, Every: 2})
+}

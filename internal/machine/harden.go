@@ -1,0 +1,299 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// This file is the hardened experiment runner. The plain Run assumes every
+// component behaves perfectly and lets a single panic or invariant breach
+// kill an entire multi-hour sweep; the hardened runner converts crashes into
+// structured RunFailure artifacts (config + seed + last-N trace records, a
+// reproducible-by-construction bundle), audits the machine's cross-structure
+// invariants continuously instead of only post-run, and enforces per-run
+// wall-clock deadlines — so a sweep quarantines a bad run and completes.
+
+// FailureKind classifies how a hardened run died.
+type FailureKind string
+
+const (
+	// FailPanic is a recovered crash (including vm.IOError exhaustion).
+	FailPanic FailureKind = "panic"
+	// FailAudit is a continuous-audit invariant breach.
+	FailAudit FailureKind = "audit"
+	// FailDeadline is a per-run wall-clock budget overrun.
+	FailDeadline FailureKind = "deadline"
+)
+
+// RunOptions hardens one run.
+type RunOptions struct {
+	// AuditEvery invokes Audit every N references (continuous invariant
+	// auditing). Zero disables mid-run audits; a final audit still runs.
+	AuditEvery int64
+	// Deadline is the per-run wall-clock budget; zero means none. The
+	// deadline affects only where a run is cut off, never the simulated
+	// decisions, so partial results stay deterministic per reference.
+	Deadline time.Duration
+	// TraceTail is how many trailing trace records the repro bundle
+	// keeps (default 64).
+	TraceTail int
+	// ArtifactDir, when set, receives a JSON repro bundle per failure.
+	ArtifactDir string
+	// SkipFinalAudit disables the end-of-run audit (for callers that
+	// audit on their own cadence).
+	SkipFinalAudit bool
+}
+
+const defaultTraceTail = 64
+
+// deadlineStride is how many references pass between wall-clock checks.
+const deadlineStride = 4096
+
+// RunFailure is the structured artifact of a failed hardened run: enough to
+// reproduce the failure bit-for-bit (the config embeds the workload seed and
+// the fault-injection plans) plus the trailing trace records and the
+// injection log for diagnosis without a rerun.
+type RunFailure struct {
+	Kind   FailureKind `json:"kind"`
+	Reason string      `json:"reason"`
+	// Config reproduces the run: machine geometry, policies, Seed, and
+	// the deterministic fault-injection plans.
+	Config Config `json:"config"`
+	Seed   uint64 `json:"seed"`
+	// Refs is how many references completed before the failure.
+	Refs int64 `json:"refs"`
+	// Tail is the last-N trace records leading into the failure.
+	Tail []trace.Rec `json:"tail,omitempty"`
+	// Injections is the fault injector's record of what actually fired.
+	Injections []faultinject.Record `json:"injections,omitempty"`
+	// Stack is the recovered goroutine stack (panics only).
+	Stack string `json:"stack,omitempty"`
+	// BundlePath is where the bundle was written, if anywhere.
+	BundlePath string `json:"-"`
+}
+
+// Error implements error.
+func (f *RunFailure) Error() string {
+	return fmt.Sprintf("run failed (%s) after %d refs: %s", f.Kind, f.Refs, f.Reason)
+}
+
+// WriteBundle writes the failure as an indented JSON repro bundle under dir,
+// creating the directory if needed, and records the path in BundlePath. The
+// filename is derived from the run configuration; collisions get a numeric
+// suffix so sweep repetitions never clobber each other.
+func (f *RunFailure) WriteBundle(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	base := fmt.Sprintf("runfailure-%s-%s-%dmb-seed%d-%s",
+		f.Config.Dirty, f.Config.Ref, f.Config.MemoryBytes>>20, f.Seed, f.Kind)
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	for i := 0; ; i++ {
+		name := base + ".json"
+		if i > 0 {
+			name = fmt.Sprintf("%s-%d.json", base, i)
+		}
+		path := filepath.Join(dir, name)
+		w, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue
+		}
+		if err != nil {
+			return "", err
+		}
+		_, werr := w.Write(data)
+		cerr := w.Close()
+		if werr != nil {
+			return "", werr
+		}
+		if cerr != nil {
+			return "", cerr
+		}
+		f.BundlePath = path
+		return path, nil
+	}
+}
+
+// tailBuffer is a fixed-size ring of the most recent trace records.
+type tailBuffer struct {
+	recs []trace.Rec
+	n    int
+}
+
+func newTailBuffer(n int) *tailBuffer {
+	if n <= 0 {
+		n = defaultTraceTail
+	}
+	return &tailBuffer{recs: make([]trace.Rec, 0, n), n: n}
+}
+
+func (t *tailBuffer) push(r trace.Rec) {
+	if len(t.recs) < t.n {
+		t.recs = append(t.recs, r)
+		return
+	}
+	copy(t.recs, t.recs[1:])
+	t.recs[len(t.recs)-1] = r
+}
+
+// snapshot returns the buffered records, oldest first.
+func (t *tailBuffer) snapshot() []trace.Rec {
+	out := make([]trace.Rec, len(t.recs))
+	copy(out, t.recs)
+	return out
+}
+
+// ContinuousAuditor invokes an audit function once every Every ticks. It is
+// the cadence mechanism behind RunOptions.AuditEvery, exported so drivers
+// that own their access loop (the multiprocessor examples, custom trace
+// replayers) can audit mid-run the same way.
+type ContinuousAuditor struct {
+	every int64
+	n     int64
+	audit func() error
+}
+
+// NewContinuousAuditor returns an auditor calling audit every 'every' ticks;
+// every <= 0 never audits.
+func NewContinuousAuditor(every int64, audit func() error) *ContinuousAuditor {
+	return &ContinuousAuditor{every: every, audit: audit}
+}
+
+// Tick advances the auditor one event and runs the audit when the cadence
+// comes due. A nil auditor never audits.
+func (a *ContinuousAuditor) Tick() error {
+	if a == nil || a.every <= 0 {
+		return nil
+	}
+	a.n++
+	if a.n%a.every != 0 {
+		return nil
+	}
+	return a.audit()
+}
+
+// Auditor returns a ContinuousAuditor over this machine's invariants.
+func (m *Machine) Auditor(every int64) *ContinuousAuditor {
+	return NewContinuousAuditor(every, func() error { return Audit(m) })
+}
+
+// Auditor returns a ContinuousAuditor over the multiprocessor's invariants
+// (per-cache audits plus the cross-cache coherence invariants).
+func (m *MP) Auditor(every int64) *ContinuousAuditor {
+	return NewContinuousAuditor(every, func() error { return AuditMP(m) })
+}
+
+// failure assembles a RunFailure for this machine and writes the bundle if
+// opts asks for one (a bundle-write error is reported in Reason rather than
+// masking the original failure).
+func (m *Machine) failure(kind FailureKind, reason string, stack string, tail *tailBuffer, opts RunOptions) *RunFailure {
+	f := &RunFailure{
+		Kind:       kind,
+		Reason:     reason,
+		Config:     m.Cfg,
+		Seed:       m.Cfg.Seed,
+		Refs:       m.refs,
+		Injections: m.Inject.Log(),
+		Stack:      stack,
+	}
+	if tail != nil {
+		f.Tail = tail.snapshot()
+	}
+	if opts.ArtifactDir != "" {
+		if _, err := f.WriteBundle(opts.ArtifactDir); err != nil {
+			f.Reason += fmt.Sprintf(" (bundle write failed: %v)", err)
+		}
+	}
+	return f
+}
+
+// RunHardened drives up to n references from src through the engine under
+// panic recovery, continuous invariant auditing, and an optional wall-clock
+// deadline. It always returns the cumulative snapshot; a non-nil RunFailure
+// reports why the run stopped early. Counters accumulate across calls, as
+// with Run.
+func (m *Machine) RunHardened(src trace.Source, n int64, opts RunOptions) (Result, *RunFailure) {
+	tail := newTailBuffer(opts.TraceTail)
+	auditor := m.Auditor(opts.AuditEvery)
+	var deadline time.Time
+	if opts.Deadline > 0 {
+		deadline = time.Now().Add(opts.Deadline)
+	}
+
+	var fail *RunFailure
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fail = m.failure(FailPanic, fmt.Sprint(r), string(debug.Stack()), tail, opts)
+			}
+		}()
+		if r, ok := src.(interface{ Runnable() int }); ok {
+			m.Pager.Runnable = r.Runnable
+		}
+		for i := int64(0); i < n; i++ {
+			rec, ok := src.Next()
+			if !ok {
+				break
+			}
+			tail.push(rec)
+			m.Engine.Access(rec)
+			m.refs++
+			if err := auditor.Tick(); err != nil {
+				fail = m.failure(FailAudit, err.Error(), "", tail, opts)
+				return
+			}
+			if !deadline.IsZero() && (i+1)%deadlineStride == 0 && time.Now().After(deadline) {
+				fail = m.failure(FailDeadline,
+					fmt.Sprintf("run exceeded its %v budget", opts.Deadline), "", tail, opts)
+				return
+			}
+		}
+		if !opts.SkipFinalAudit {
+			if err := Audit(m); err != nil {
+				fail = m.failure(FailAudit, "post-run: "+err.Error(), "", tail, opts)
+			}
+		}
+	}()
+	return m.Snapshot(), fail
+}
+
+// RunSpecHardened assembles a fresh machine for cfg, instantiates the
+// workload spec on it, and runs the configured reference budget under the
+// hardened runner. Machine and workload construction are guarded too: a
+// panicking constructor yields a RunFailure instead of killing the caller.
+func RunSpecHardened(cfg Config, spec workload.Spec, opts RunOptions) (res Result, fail *RunFailure) {
+	var m *Machine
+	var script *workload.Script
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fail = &RunFailure{
+					Kind: FailPanic, Reason: "setup: " + fmt.Sprint(r),
+					Config: cfg, Seed: cfg.Seed, Stack: string(debug.Stack()),
+				}
+				if opts.ArtifactDir != "" {
+					if _, err := fail.WriteBundle(opts.ArtifactDir); err != nil {
+						fail.Reason += fmt.Sprintf(" (bundle write failed: %v)", err)
+					}
+				}
+			}
+		}()
+		m = New(cfg)
+		script = workload.NewScript(m, cfg.Seed, spec)
+	}()
+	if fail != nil {
+		return Result{}, fail
+	}
+	return m.RunHardened(script, cfg.TotalRefs, opts)
+}

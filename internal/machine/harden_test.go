@@ -1,0 +1,270 @@
+package machine
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/workload"
+)
+
+func hardenCfg() Config {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 5 << 20
+	cfg.TotalRefs = 200_000
+	cfg.Seed = 11
+	return cfg
+}
+
+// TestRunHardenedCleanMatchesPlainRun: without faults, hardening is
+// observationally free — same events, same cycles, same refs.
+func TestRunHardenedCleanMatchesPlainRun(t *testing.T) {
+	cfg := hardenCfg()
+	plain := RunSpec(cfg, workload.SLCSpec())
+	hard, fail := RunSpecHardened(cfg, workload.SLCSpec(), RunOptions{AuditEvery: 50_000})
+	if fail != nil {
+		t.Fatalf("clean hardened run failed: %v", fail)
+	}
+	if !reflect.DeepEqual(plain, hard) {
+		t.Errorf("hardened result diverged:\nplain %+v\nhard  %+v", plain, hard)
+	}
+}
+
+// TestRunHardenedRecoversIOExhaustion: a permanently failing backing store
+// (PageInIO at every opportunity) exhausts the pager's retry budget; the
+// resulting *vm.IOError panic becomes a structured RunFailure with a written
+// repro bundle instead of a crashed test binary.
+func TestRunHardenedRecoversIOExhaustion(t *testing.T) {
+	dir := t.TempDir()
+	cfg := hardenCfg()
+	cfg.Faults = []faultinject.Plan{{Kind: faultinject.PageInIO, Every: 1}}
+	res, fail := RunSpecHardened(cfg, workload.SLCSpec(), RunOptions{
+		ArtifactDir: dir, TraceTail: 16,
+	})
+	if fail == nil {
+		t.Fatal("permanent I/O failure did not fail the run")
+	}
+	if fail.Kind != FailPanic {
+		t.Errorf("kind = %s, want %s", fail.Kind, FailPanic)
+	}
+	if !strings.Contains(fail.Reason, "backing-store") {
+		t.Errorf("reason = %q", fail.Reason)
+	}
+	if len(fail.Tail) == 0 || len(fail.Tail) > 16 {
+		t.Errorf("tail has %d records", len(fail.Tail))
+	}
+	if len(fail.Injections) == 0 {
+		t.Error("no injection log in the failure")
+	}
+	if res.Refs >= cfg.TotalRefs {
+		t.Error("failed run claims to have completed")
+	}
+
+	// The bundle on disk round-trips and reproduces the config.
+	if fail.BundlePath == "" {
+		t.Fatal("no bundle written")
+	}
+	data, err := os.ReadFile(fail.BundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded RunFailure
+	if err := json.Unmarshal(data, &loaded); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if loaded.Config.Seed != cfg.Seed || len(loaded.Config.Faults) != 1 ||
+		loaded.Config.Faults[0].Kind != faultinject.PageInIO {
+		t.Errorf("bundle config does not reproduce the run: %+v", loaded.Config)
+	}
+}
+
+// TestTransientIOFaultsRetryAndComplete: sparse transient I/O errors are
+// absorbed by retry-with-backoff — the run completes, the retries are
+// counted, and the backoff shows up in elapsed time.
+func TestTransientIOFaultsRetryAndComplete(t *testing.T) {
+	cfg := hardenCfg()
+	clean, fail := RunSpecHardened(cfg, workload.SLCSpec(), RunOptions{})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+
+	cfg2 := cfg
+	cfg2.Faults = []faultinject.Plan{{Kind: faultinject.PageInIO, Every: 10, Seed: 5}}
+	m := New(cfg2)
+	script := workload.NewScript(m, cfg2.Seed, workload.SLCSpec())
+	res, fail := m.RunHardened(script, cfg2.TotalRefs, RunOptions{})
+	if fail != nil {
+		t.Fatalf("transient faults killed the run: %v", fail)
+	}
+	if m.Pager.Stats.IORetries == 0 {
+		t.Fatal("no retries recorded despite injected transient errors")
+	}
+	if res.Refs != clean.Refs {
+		t.Errorf("refs %d != clean %d", res.Refs, clean.Refs)
+	}
+	if res.Cycles <= clean.Cycles {
+		t.Error("retry/backoff cost did not appear in the elapsed-time model")
+	}
+	// The retries changed only time, not behaviour: same event counts
+	// (elapsed time differs by exactly the backoff, so exclude it).
+	gotEv, wantEv := res.Events, clean.Events
+	gotEv.ElapsedSeconds, wantEv.ElapsedSeconds = 0, 0
+	if gotEv != wantEv {
+		t.Errorf("transient I/O retries changed simulated events:\n%+v\n%+v", gotEv, wantEv)
+	}
+}
+
+// TestContinuousAuditCatchesInjectedCorruption: corrupted line tags are an
+// invariant breach the continuous audit must catch mid-run.
+func TestContinuousAuditCatchesInjectedCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cfg := hardenCfg()
+	cfg.Faults = []faultinject.Plan{{Kind: faultinject.LineCorrupt, Every: 2000}}
+	_, fail := RunSpecHardened(cfg, workload.SLCSpec(), RunOptions{
+		AuditEvery: 500, ArtifactDir: dir,
+	})
+	if fail == nil {
+		t.Fatal("injected line corruption never tripped the audit")
+	}
+	if fail.Kind != FailAudit {
+		t.Fatalf("kind = %s (%s), want %s", fail.Kind, fail.Reason, FailAudit)
+	}
+	if !strings.Contains(fail.Reason, "page") {
+		t.Errorf("audit reason = %q", fail.Reason)
+	}
+	if fail.BundlePath == "" {
+		t.Error("no repro bundle for the audit breach")
+	}
+}
+
+// TestHardenedRunReproducibleBitForBit: the acceptance criterion — a run
+// with any fault plan replays exactly from its configuration, including
+// which injections fired and where the run failed.
+func TestHardenedRunReproducibleBitForBit(t *testing.T) {
+	run := func() (Result, *RunFailure, []faultinject.Record) {
+		cfg := hardenCfg()
+		cfg.Faults = []faultinject.Plan{
+			{Kind: faultinject.CounterWrap, Every: 30_000, Seed: 3},
+			{Kind: faultinject.DirtyBitFlip, Every: 7000, Seed: 9},
+			{Kind: faultinject.PageInIO, Every: 25, Seed: 17},
+		}
+		m := New(cfg)
+		script := workload.NewScript(m, cfg.Seed, workload.SLCSpec())
+		res, fail := m.RunHardened(script, cfg.TotalRefs, RunOptions{AuditEvery: 20_000})
+		return res, fail, m.Inject.Log()
+	}
+	res1, fail1, log1 := run()
+	res2, fail2, log2 := run()
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("results diverged:\n%+v\n%+v", res1, res2)
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		t.Error("injection logs diverged")
+	}
+	if (fail1 == nil) != (fail2 == nil) {
+		t.Fatalf("one run failed, the other did not: %v vs %v", fail1, fail2)
+	}
+	if fail1 != nil && (fail1.Kind != fail2.Kind || fail1.Refs != fail2.Refs) {
+		t.Errorf("failures diverged: %v vs %v", fail1, fail2)
+	}
+}
+
+// TestCounterWrapInvisibleToMeasurements: injected hardware wraparounds do
+// not perturb any measured result, because measurement reads the 64-bit
+// software shadow — while the hardware view visibly diverges.
+func TestCounterWrapInvisibleToMeasurements(t *testing.T) {
+	cfg := hardenCfg()
+	clean, fail := RunSpecHardened(cfg, workload.SLCSpec(), RunOptions{})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+
+	cfg2 := cfg
+	cfg2.Faults = []faultinject.Plan{{Kind: faultinject.CounterWrap, Every: 10_000}}
+	m := New(cfg2)
+	script := workload.NewScript(m, cfg2.Seed, workload.SLCSpec())
+	wrapped, fail := m.RunHardened(script, cfg2.TotalRefs, RunOptions{})
+	if fail != nil {
+		t.Fatal(fail)
+	}
+	if !reflect.DeepEqual(clean, wrapped) {
+		t.Errorf("counter wraparound leaked into measurements:\n%+v\n%+v", clean, wrapped)
+	}
+	if m.Inject.Fired(faultinject.CounterWrap) == 0 {
+		t.Fatal("no wraparounds were injected")
+	}
+	// The hardware-accurate view did lose counts: at least one hardware
+	// counter disagrees with its shadow modulo 2^32.
+	diverged := false
+	for i := 0; i < 16; i++ {
+		ev := m.Ctr.HardwareEvent(i)
+		if uint64(m.Ctr.Hardware(i)) != m.Ctr.Count(ev)&0xFFFF_FFFF {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("hardware counters survived an injected wraparound unscathed")
+	}
+}
+
+// TestRunHardenedDeadline: a hopeless wall-clock budget stops the run with a
+// deadline failure instead of hanging the sweep.
+func TestRunHardenedDeadline(t *testing.T) {
+	cfg := hardenCfg()
+	cfg.TotalRefs = 50_000_000 // far more than a nanosecond of work
+	res, fail := RunSpecHardened(cfg, workload.SLCSpec(), RunOptions{
+		Deadline: time.Nanosecond, SkipFinalAudit: true,
+	})
+	if fail == nil || fail.Kind != FailDeadline {
+		t.Fatalf("fail = %v, want deadline", fail)
+	}
+	if res.Refs == 0 || res.Refs >= cfg.TotalRefs {
+		t.Errorf("refs at deadline = %d", res.Refs)
+	}
+}
+
+// TestMPSnoopDropBreaksCoherenceAndIsAudited: dropped snoops let stale
+// copies survive; the multiprocessor's continuous auditor catches the
+// coherence breach (at most one owner, exclusive means alone).
+func TestMPSnoopDropBreaksCoherenceAndIsAudited(t *testing.T) {
+	cfg := mpConfig()
+	cfg.MemoryBytes = 32 << 20
+	cfg.Faults = []faultinject.Plan{{Kind: faultinject.SnoopDrop, Every: 3}}
+	m := NewMP(cfg, 4)
+	w := workload.NewSharedWorkload(m, 1, workload.DefaultSharedParams(4))
+	auditor := m.Auditor(1000)
+	var breach error
+	for i := 0; i < 400_000 && breach == nil; i++ {
+		m.Access(i%4, w.Step(i%4))
+		breach = auditor.Tick()
+	}
+	if m.Bus.DroppedSnoops == 0 {
+		t.Fatal("no snoops were dropped")
+	}
+	if breach == nil {
+		t.Fatal("dropped snoops never tripped the MP coherence audit")
+	}
+}
+
+// TestAuditorCadence: the auditor fires exactly every N ticks.
+func TestAuditorCadence(t *testing.T) {
+	calls := 0
+	a := NewContinuousAuditor(10, func() error { calls++; return nil })
+	for i := 0; i < 95; i++ {
+		if err := a.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 9 {
+		t.Errorf("auditor ran %d times over 95 ticks at cadence 10", calls)
+	}
+	var nilAud *ContinuousAuditor
+	if nilAud.Tick() != nil {
+		t.Error("nil auditor audited")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/pte"
 	"repro/internal/timing"
@@ -50,6 +51,11 @@ type Config struct {
 	Seed uint64
 	// TotalRefs is the reference budget of one run.
 	TotalRefs int64
+
+	// Faults schedules deterministic fault injection (chaos runs). Empty
+	// means no faults. Each run builds a fresh injector from these plans,
+	// so a configuration replays bit-for-bit.
+	Faults []faultinject.Plan
 }
 
 // DefaultConfig returns the prototype configuration at the reproduction's
@@ -78,6 +84,7 @@ type Machine struct {
 	Pool   *mem.Pool
 	Pager  *vm.Pager
 	Engine *core.Engine
+	Inject *faultinject.Injector
 
 	segNext addr.SegmentID
 	segFree []addr.SegmentID
@@ -100,9 +107,12 @@ func New(cfg Config) *Machine {
 	pager := vm.NewPager(pool, ctr, cfg.Timing)
 	e := core.NewEngine(c, x, pager, ctr, cfg.Timing, cfg.Dirty, cfg.Ref)
 	e.TagCheckFlush = cfg.TagCheckFlush
+	inj := faultinject.New(cfg.Faults...)
+	e.Inject = inj
+	pager.Inject = inj
 	return &Machine{
 		Cfg: cfg, Ctr: ctr, Cache: c, Table: tbl, X: x,
-		Pool: pool, Pager: pager, Engine: e,
+		Pool: pool, Pager: pager, Engine: e, Inject: inj,
 		segNext: KernelSegment + 1,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/pte"
 	"repro/internal/trace"
@@ -35,6 +36,7 @@ type MP struct {
 	Pool   *mem.Pool
 	Pager  *vm.Pager
 	Ctr    *counters.Set
+	Inject *faultinject.Injector
 
 	cur     int // CPU whose access is in progress (for OS callbacks)
 	segNext addr.SegmentID
@@ -62,17 +64,21 @@ func NewMP(cfg Config, n int) *MP {
 	pool := mem.PoolForBytes(cfg.MemoryBytes, cfg.WiredFrames)
 	pager := vm.NewPager(pool, ctr, cfg.Timing)
 
+	inj := faultinject.New(cfg.Faults...)
+	pager.Inject = inj
 	m := &MP{
 		Cfg: cfg, Bus: coherence.NewBus(), Table: tbl,
-		Pool: pool, Pager: pager, Ctr: ctr,
+		Pool: pool, Pager: pager, Ctr: ctr, Inject: inj,
 		segNext: KernelSegment + 1,
 	}
+	m.Bus.Inject = inj
 	for i := 0; i < n; i++ {
 		c := cache.New(cfg.CacheBytes)
 		c.AttachBus(m.Bus)
 		x := xlate.New(tbl, c, ctr, cfg.Timing)
 		e := core.NewEngine(c, x, pager, ctr, cfg.Timing, cfg.Dirty, cfg.Ref)
 		e.TagCheckFlush = cfg.TagCheckFlush
+		e.Inject = inj
 		m.Caches = append(m.Caches, c)
 		m.CPUs = append(m.CPUs, e)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/counters"
+	"repro/internal/faultinject"
 	"repro/internal/mem"
 	"repro/internal/timing"
 )
@@ -51,6 +52,30 @@ type Stats struct {
 	// ZFODForcedWrites counts clean zero-fill pages written to swap on
 	// first replacement anyway (Sprite's rule, footnote 4 of the paper).
 	ZFODForcedWrites uint64
+
+	// IORetries counts backing-store reads that failed transiently and
+	// were retried (injected via faultinject.PageInIO).
+	IORetries uint64
+}
+
+// MaxPageInRetries is the pager's retry budget for a failing backing-store
+// read; exhausting it raises an *IOError panic, which the hardened runner
+// converts into a RunFailure artifact.
+const MaxPageInRetries = 4
+
+// IOError is the terminal backing-store failure: every retry of a page-in
+// failed. It is raised as a panic value because the fault path has no error
+// return (the paper's machines simply hung on NFS outages); the hardened
+// runner in internal/machine recovers it into a structured RunFailure.
+type IOError struct {
+	VPN      addr.GVPN
+	Attempts int
+}
+
+// Error implements error.
+func (e *IOError) Error() string {
+	return fmt.Sprintf("vm: backing-store read of page %#x failed %d times (retry budget exhausted)",
+		uint64(e.VPN), e.Attempts)
 }
 
 // Fault describes how EnsureResident satisfied a page fault.
@@ -88,6 +113,12 @@ type Pager struct {
 	// a stored trace carries addresses but not the region bookkeeping of
 	// the run that produced it.
 	AutoRegister bool
+
+	// Inject, when non-nil, can fail backing-store reads transiently
+	// (faultinject.PageInIO); the pager retries with exponential backoff
+	// charged to the elapsed-time model, and raises *IOError past
+	// MaxPageInRetries. A nil injector is inert.
+	Inject *faultinject.Injector
 
 	// Stats is the pager activity record.
 	Stats Stats
@@ -219,6 +250,18 @@ func (pg *Pager) EnsureResident(vpn addr.GVPN) (*Page, Fault) {
 			// Another process runs while this one waits for the disk:
 			// most of the latency is hidden from elapsed time.
 			stall = uint64(float64(stall) * pg.tp.PageInOverlapFactor)
+		}
+		// Injected transient I/O errors: each failed attempt costs the
+		// full stall (the request went to the store and died) plus an
+		// exponentially growing backoff wait, all charged to the
+		// elapsed-time model. Past the retry budget the store is treated
+		// as down and *IOError is raised for the hardened runner.
+		for attempt := 1; pg.Inject.Fire(faultinject.PageInIO); attempt++ {
+			pg.Stats.IORetries++
+			pg.Cycles += stall + (pg.tp.PageInStallCycles>>3)<<uint(attempt)
+			if attempt >= MaxPageInRetries {
+				panic(&IOError{VPN: vpn, Attempts: attempt})
+			}
 		}
 		pg.Cycles += stall
 	} else {

@@ -2,6 +2,7 @@ package spur
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/report"
@@ -14,6 +15,10 @@ type MemorySweepRow struct {
 	MemMB    int
 	Policy   RefPolicy
 	Result   Result
+	// Failure is non-nil when this cell was quarantined: its run crashed,
+	// breached an invariant, or overran its deadline. Result then holds
+	// whatever completed before the failure. Sibling cells are unaffected.
+	Failure *RunFailure
 }
 
 // MemorySweepOptions parameterises the sweep.
@@ -28,6 +33,18 @@ type MemorySweepOptions struct {
 	Workloads []core.WorkloadName
 	Refs      int64
 	Seed      uint64
+
+	// Hardening. AuditEvery audits machine invariants every N references
+	// of every cell (0 = final audit only); ArtifactDir receives a JSON
+	// repro bundle per quarantined cell; Deadline bounds each cell's
+	// wall-clock time (zero = unbounded).
+	AuditEvery  int64
+	ArtifactDir string
+	Deadline    time.Duration
+
+	// Configure, when set, can adjust each cell's config before it runs
+	// (e.g. schedule fault injection for specific cells in chaos drills).
+	Configure func(cfg *Config, wl core.WorkloadName, memMB int, pol RefPolicy)
 }
 
 func (o *MemorySweepOptions) fill() {
@@ -53,8 +70,18 @@ func (o *MemorySweepOptions) fill() {
 // sweep: page-ins and elapsed time for each policy across memory sizes.
 // The paper's prediction: the benefit of reference bits "will tend to
 // decrease and may eventually become a hindrance".
+//
+// Every cell runs under the hardened runner, so a cell that crashes,
+// breaches an invariant, or overruns its deadline is quarantined — its row
+// carries the RunFailure (and repro bundle, if ArtifactDir is set) — while
+// all sibling cells complete normally.
 func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 	opts.fill()
+	runOpts := RunOptions{
+		AuditEvery:  opts.AuditEvery,
+		Deadline:    opts.Deadline,
+		ArtifactDir: opts.ArtifactDir,
+	}
 	var rows []MemorySweepRow
 	for _, wl := range opts.Workloads {
 		spec := SLC()
@@ -68,14 +95,29 @@ func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 				cfg.TotalRefs = opts.Refs
 				cfg.Seed = opts.Seed
 				cfg.Ref = pol
+				if opts.Configure != nil {
+					opts.Configure(&cfg, wl, mb, pol)
+				}
+				res, fail := RunHardened(cfg, spec, runOpts)
 				rows = append(rows, MemorySweepRow{
 					Workload: wl, MemMB: mb, Policy: pol,
-					Result: Run(cfg, spec),
+					Result: res, Failure: fail,
 				})
 			}
 		}
 	}
 	return rows
+}
+
+// SweepFailures extracts the quarantined cells of a sweep.
+func SweepFailures(rows []MemorySweepRow) []MemorySweepRow {
+	var bad []MemorySweepRow
+	for _, r := range rows {
+		if r.Failure != nil {
+			bad = append(bad, r)
+		}
+	}
+	return bad
 }
 
 // MemorySweepChart renders one workload's page-in curves per policy.
@@ -88,7 +130,7 @@ func MemorySweepChart(rows []MemorySweepRow, wl core.WorkloadName) string {
 	for _, pol := range RefPolicies {
 		var xs, ys []float64
 		for _, r := range rows {
-			if r.Workload == wl && r.Policy == pol {
+			if r.Workload == wl && r.Policy == pol && r.Failure == nil {
 				xs = append(xs, float64(r.MemMB))
 				ys = append(ys, float64(r.Result.Events.PageIns))
 			}

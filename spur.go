@@ -21,6 +21,7 @@ package spur
 
 import (
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/timing"
 	"repro/internal/workload"
@@ -102,3 +103,57 @@ func NewMachine(cfg Config) *machine.Machine { return machine.New(cfg) }
 
 // MemorySizesMB are the paper's main-memory sweep points.
 var MemorySizesMB = core.MemorySizesMB
+
+// --- Chaos & robustness -----------------------------------------------------
+
+// FaultPlan schedules one deterministic injected fault stream; put plans in
+// Config.Faults. See faultinject.Plan.
+type FaultPlan = faultinject.Plan
+
+// FaultKind names an injectable fault; see faultinject.Kind.
+type FaultKind = faultinject.Kind
+
+// The injectable fault kinds.
+const (
+	// FaultCounterWrap forces the 32-bit hardware counters to the brink of
+	// wraparound (the 64-bit software shadow must survive).
+	FaultCounterWrap = faultinject.CounterWrap
+	// FaultSnoopDrop silently drops a snooper's view of a bus transaction.
+	FaultSnoopDrop = faultinject.SnoopDrop
+	// FaultSnoopDelay stretches a bus transaction by one block transfer.
+	FaultSnoopDelay = faultinject.SnoopDelay
+	// FaultPageInIO makes one backing-store read attempt fail transiently.
+	FaultPageInIO = faultinject.PageInIO
+	// FaultDirtyBitFlip flips the cached page-dirty state of a hit line.
+	FaultDirtyBitFlip = faultinject.DirtyBitFlip
+	// FaultLineCorrupt corrupts a hit line's address tag.
+	FaultLineCorrupt = faultinject.LineCorrupt
+)
+
+// ParseFaultKind maps a fault name ("pagein-io", "line-corrupt", ...) to its
+// kind, for command-line use.
+var ParseFaultKind = faultinject.ParseKind
+
+// RunOptions hardens a run; see machine.RunOptions.
+type RunOptions = machine.RunOptions
+
+// RunFailure is the structured artifact of a failed hardened run; see
+// machine.RunFailure.
+type RunFailure = machine.RunFailure
+
+// FailureKind classifies how a hardened run died.
+type FailureKind = machine.FailureKind
+
+// The failure classifications.
+const (
+	FailPanic    = machine.FailPanic
+	FailAudit    = machine.FailAudit
+	FailDeadline = machine.FailDeadline
+)
+
+// RunHardened is Run under panic recovery, continuous invariant auditing,
+// per-run deadlines, and repro-bundle capture. A non-nil RunFailure reports
+// why the run stopped early; the Result is whatever completed.
+func RunHardened(cfg Config, spec Spec, opts RunOptions) (Result, *RunFailure) {
+	return machine.RunSpecHardened(cfg, spec, opts)
+}
