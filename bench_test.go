@@ -10,6 +10,7 @@ package spur
 // b.ReportMetric so the regenerated shape is visible in the bench output.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/addr"
@@ -98,6 +99,32 @@ func BenchmarkTable41(b *testing.B) {
 				b.ReportMetric(100*r.RelPageIns, "NOREF-pageins-pct-SLC@5")
 			}
 		}
+	}
+}
+
+// BenchmarkMemorySweepParallel measures the memory-size sweep through the
+// bounded parallel engine at increasing -par, demonstrating near-linear
+// scaling on multi-core hosts (the sweep's cells are fully independent).
+// Output is byte-identical across the sub-benchmarks; only wall-clock
+// changes.
+func BenchmarkMemorySweepParallel(b *testing.B) {
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := MemorySweep(MemorySweepOptions{
+					Workloads: []core.WorkloadName{core.SLC},
+					SizesMB:   []int{4, 5, 6, 8},
+					Refs:      1_000_000,
+					Seed:      uint64(i + 1),
+					Reps:      2,
+					Parallel:  par,
+				})
+				if len(rows) != 4*len(RefPolicies) {
+					b.Fatalf("rows = %d", len(rows))
+				}
+				b.ReportMetric(rows[0].PageIns.Mean, "pageins-SLC@4MB-MISS")
+			}
+		})
 	}
 }
 

@@ -56,7 +56,7 @@ func main() {
 	for _, w := range wls {
 		for _, mb := range core.MemorySizesMB {
 			cfg := machine.DefaultConfig()
-			cfg.MemoryBytes = mb << 20
+			cfg.MemoryBytes = core.MiB(mb)
 			cfg.TotalRefs = *refs
 			cfg.Ref = rp
 			cfg.Seed = *seed

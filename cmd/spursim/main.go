@@ -71,7 +71,7 @@ func main() {
 	}
 
 	cfg := spur.DefaultConfig()
-	cfg.MemoryBytes = *mem << 20
+	cfg.MemoryBytes = core.MiB(*mem)
 	cfg.TotalRefs = *refs
 	cfg.Seed = *seed
 	var err error
@@ -118,7 +118,7 @@ func main() {
 		}
 		h := workload.SpriteHosts()[i]
 		spec = h.Spec()
-		cfg.MemoryBytes = h.MemMB << 20
+		cfg.MemoryBytes = core.MiB(h.MemMB)
 	default:
 		die(fmt.Errorf("unknown workload %q", *wl))
 	}

@@ -3,17 +3,23 @@
 // paper's 8 MB? It prints page-in curves per policy (and optionally CSV),
 // the study the authors say they were "conducting further studies" toward.
 //
+// Runs go through the bounded parallel engine: -par controls concurrency,
+// -reps the repetitions per cell (the paper ran five, in randomized order).
+// Output is byte-identical at any -par for the same seed.
+//
 // Usage:
 //
 //	sweep                      # both workloads, 4-16 MB, all policies
+//	sweep -par 8 -reps 5       # the paper's design, 8 runs at a time
 //	sweep -w slc -refs 4000000 # quicker
-//	sweep -csv > sweep.csv     # machine-readable
+//	sweep -csv > sweep.csv     # machine-readable, with mean/CI95 columns
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	spur "repro"
 	"repro/internal/core"
@@ -22,11 +28,16 @@ import (
 func main() {
 	wl := flag.String("w", "all", "workload: workload1, slc, all")
 	refs := flag.Int64("refs", 8_000_000, "references per run")
-	seed := flag.Uint64("seed", 1, "workload seed")
+	seed := flag.Uint64("seed", 1, "experiment seed (per-run seeds are derived from it)")
+	reps := flag.Int("reps", 1, "repetitions per cell (the paper ran 5)")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "concurrent runs (1 = serial)")
+	progress := flag.Bool("progress", false, "report run completion on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
 	flag.Parse()
 
-	opts := spur.MemorySweepOptions{Refs: *refs, Seed: *seed}
+	opts := spur.MemorySweepOptions{
+		Refs: *refs, Seed: *seed, Reps: *reps, Parallel: *par,
+	}
 	switch *wl {
 	case "workload1":
 		opts.Workloads = []core.WorkloadName{core.Workload1}
@@ -37,8 +48,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d runs\r", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
-	fmt.Fprintln(os.Stderr, "sweeping memory sizes (one run per point; this takes a few minutes)...")
+	fmt.Fprintf(os.Stderr, "sweeping memory sizes (%d reps/cell, %d at a time)...\n", *reps, *par)
 	rows := spur.MemorySweep(opts)
 	if *csv {
 		fmt.Print(spur.MemorySweepCSV(rows))

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	spur "repro"
 )
@@ -22,6 +23,7 @@ func main() {
 	refs := flag.Int64("refs", 0, "references per run (0 = default scale)")
 	reps := flag.Int("reps", 0, "repetitions for Table 4.1 (0 = default)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "concurrent runs for Table 4.1 (1 = serial)")
 	paper := flag.Bool("paper", true, "print published values alongside")
 	flag.Parse()
 
@@ -75,7 +77,7 @@ func main() {
 	}
 	if want("4.1") {
 		fmt.Fprintln(os.Stderr, "running Table 4.1 reference-bit policy sweeps (this is the long one)...")
-		rows := spur.Table41(spur.Table41Options{Refs: *refs, Reps: *reps, Seed: *seed})
+		rows := spur.Table41(spur.Table41Options{Refs: *refs, Reps: *reps, Seed: *seed, Parallel: *par})
 		show(spur.RenderTable41(rows, *paper).String())
 	}
 	if want("ext") {

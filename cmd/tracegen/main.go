@@ -19,6 +19,7 @@ import (
 	"os"
 
 	spur "repro"
+	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -47,7 +48,7 @@ func main() {
 		r := trace.NewReader(f)
 		sum := trace.NewSummary()
 		cfg := spur.DefaultConfig()
-		cfg.MemoryBytes = *mem << 20
+		cfg.MemoryBytes = core.MiB(*mem)
 		m := spur.NewMachine(cfg)
 		// The trace carries addresses, not the producing run's region
 		// bookkeeping: replay auto-registers pages on fault.

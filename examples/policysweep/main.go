@@ -11,12 +11,13 @@ import (
 
 	spur "repro"
 	"repro/internal/core"
+	"repro/internal/parallel"
 )
 
 func main() {
 	const memMB = 6
 	cfg := spur.DefaultConfig()
-	cfg.MemoryBytes = memMB << 20
+	cfg.MemoryBytes = core.MiB(memMB)
 	cfg.TotalRefs = 8_000_000
 
 	fmt.Printf("measuring event frequencies (WORKLOAD1 @ %d MB, %d refs, SPUR policy)...\n",
@@ -29,13 +30,18 @@ func main() {
 	// The models predict each policy's dirty-bit overhead from one run's
 	// events; direct simulation measures it as the cycle difference from
 	// the MIN policy's run.
+	// The five policy runs are independent, so they go through the bounded
+	// parallel engine; results come back in policy order regardless of
+	// which finished first.
 	tp := spur.Timing()
-	measured := map[spur.DirtyPolicy]uint64{}
-	for _, pol := range spur.DirtyPolicies {
+	cycles, _ := parallel.Map(len(spur.DirtyPolicies), parallel.Options{}, func(i int) uint64 {
 		c := cfg
-		c.Dirty = pol
-		res := spur.Run(c, spur.Workload1())
-		measured[pol] = res.Cycles
+		c.Dirty = spur.DirtyPolicies[i]
+		return spur.Run(c, spur.Workload1()).Cycles
+	})
+	measured := map[spur.DirtyPolicy]uint64{}
+	for i, pol := range spur.DirtyPolicies {
+		measured[pol] = cycles[i]
 	}
 
 	fmt.Printf("%-6s  %16s %16s %14s\n", "policy", "model (Mcycles)", "sim Δ vs MIN", "model rel")

@@ -61,7 +61,7 @@ func CacheSweep(opts CacheSweepOptions) []CacheSweepRow {
 		for _, pol := range RefPolicies {
 			cfg := DefaultConfig()
 			cfg.CacheBytes = cb
-			cfg.MemoryBytes = opts.MemMB << 20
+			cfg.MemoryBytes = core.MiB(opts.MemMB)
 			cfg.TotalRefs = opts.Refs
 			cfg.Seed = opts.Seed
 			cfg.Ref = pol

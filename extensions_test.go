@@ -83,27 +83,36 @@ func TestPROTExported(t *testing.T) {
 }
 
 func TestMemorySweep(t *testing.T) {
+	// Every cell runs on its own derived seed, so cross-cell comparisons
+	// are between independent samples: the budget must be large enough for
+	// the memory effect to dominate sampling noise, and the repetition
+	// means (not single runs) carry the comparison.
 	rows := MemorySweep(MemorySweepOptions{
 		SizesMB:   []int{5, 8},
 		Workloads: []core.WorkloadName{core.SLC},
-		Refs:      1_500_000,
+		Refs:      3_000_000,
+		Reps:      2,
+		Parallel:  4,
 	})
 	if len(rows) != 2*len(RefPolicies) {
 		t.Fatalf("rows = %d", len(rows))
 	}
 	// Page-ins fall with memory for every policy.
 	for _, pol := range RefPolicies {
-		var at5, at8 uint64
+		var at5, at8 float64
 		for _, r := range rows {
+			if r.PageIns.N != 2 {
+				t.Fatalf("%v@%dMB: %d clean reps", r.Policy, r.MemMB, r.PageIns.N)
+			}
 			if r.Policy == pol && r.MemMB == 5 {
-				at5 = r.Result.Events.PageIns
+				at5 = r.PageIns.Mean
 			}
 			if r.Policy == pol && r.MemMB == 8 {
-				at8 = r.Result.Events.PageIns
+				at8 = r.PageIns.Mean
 			}
 		}
 		if at8 > at5 {
-			t.Errorf("%v: page-ins rose with memory (%d -> %d)", pol, at5, at8)
+			t.Errorf("%v: page-ins rose with memory (%.1f -> %.1f)", pol, at5, at8)
 		}
 	}
 	chart := MemorySweepChart(rows, core.SLC)

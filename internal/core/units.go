@@ -1,0 +1,15 @@
+package core
+
+import "fmt"
+
+// MiB converts a mebibyte count to bytes with the arithmetic done in 64
+// bits and range-checked, so `mb << 20` can't silently overflow int on a
+// 32-bit platform (2048 << 20 == 0 there). Every experiment's memory-size
+// math goes through here.
+func MiB(mb int) int {
+	b := int64(mb) << 20
+	if mb < 0 || int64(int(b)) != b {
+		panic(fmt.Sprintf("core: %d MiB does not fit in int", mb))
+	}
+	return int(b)
+}

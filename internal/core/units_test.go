@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestMiB(t *testing.T) {
+	if MiB(5) != 5<<20 {
+		t.Errorf("MiB(5) = %d", MiB(5))
+	}
+	if MiB(0) != 0 {
+		t.Errorf("MiB(0) = %d", MiB(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative MiB did not panic")
+		}
+	}()
+	MiB(-1)
+}
+
+func TestMiBOverflow(t *testing.T) {
+	if strconv.IntSize == 64 {
+		// 2048 << 20 is zero in 32-bit int arithmetic; here it must be 2 GiB.
+		if MiB(2048) != 2048<<20 {
+			t.Errorf("MiB(2048) = %d", MiB(2048))
+		}
+		return
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflowing MiB did not panic on 32-bit int")
+		}
+	}()
+	MiB(2048)
+}

@@ -3,8 +3,10 @@ package machine
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -266,5 +268,40 @@ func TestAuditorCadence(t *testing.T) {
 	var nilAud *ContinuousAuditor
 	if nilAud.Tick() != nil {
 		t.Error("nil auditor audited")
+	}
+}
+
+func TestWriteBundleConcurrentCollisions(t *testing.T) {
+	// Quarantined cells of a parallel sweep write their repro bundles
+	// concurrently. Even when every failure derives the same base filename,
+	// the O_EXCL create loop must give each its own file without clobbering.
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	const writers = 8
+	var wg sync.WaitGroup
+	paths := make([]string, writers)
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := &RunFailure{Kind: FailPanic, Reason: "synthetic", Config: cfg, Seed: cfg.Seed}
+			paths[i], errs[i] = f.WriteBundle(dir)
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]bool{}
+	for i := 0; i < writers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("writer %d: %v", i, errs[i])
+		}
+		if seen[paths[i]] {
+			t.Fatalf("two writers got the same bundle path %s", paths[i])
+		}
+		seen[paths[i]] = true
+	}
+	got, _ := filepath.Glob(filepath.Join(dir, "runfailure-*.json"))
+	if len(got) != writers {
+		t.Errorf("%d bundles on disk, want %d", len(got), writers)
 	}
 }

@@ -4,6 +4,8 @@ package report
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -15,13 +17,14 @@ type Table struct {
 	Notes  []string
 }
 
-// Add appends a row, stringifying the cells with %v.
+// Add appends a row, stringifying the cells with %v and float64s through
+// Float, so a cell's magnitude never collapses to "0.00".
 func (t *Table) Add(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmt.Sprintf("%.2f", v)
+			row[i] = Float(v)
 		case string:
 			row[i] = v
 		default:
@@ -29,6 +32,17 @@ func (t *Table) Add(cells ...any) {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+}
+
+// Float renders a float64 adaptively: integral values without a decimal
+// tail, everything else to four significant digits. Unlike a fixed "%.2f",
+// small per-million-reference rates keep their magnitude ("3.2e-05", never
+// "0.00").
+func Float(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
 }
 
 // Note appends a footnote line.

@@ -11,7 +11,7 @@ func TestTableRendering(t *testing.T) {
 	tbl.Add("longer", 3.5)
 	tbl.Note("note %d", 7)
 	s := tbl.String()
-	for _, want := range []string{"T\n", "a", "bbbb", "x", "12", "longer", "3.50", "note 7"} {
+	for _, want := range []string{"T\n", "a", "bbbb", "x", "12", "longer", "3.5", "note 7"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("rendering missing %q in:\n%s", want, s)
 		}
@@ -27,8 +27,26 @@ func TestTableRendering(t *testing.T) {
 	if len(dataLines) != 2 {
 		t.Fatalf("data lines = %d", len(dataLines))
 	}
-	if strings.Index(dataLines[0], "12") != strings.Index(dataLines[1], "3.50") {
+	if strings.Index(dataLines[0], "12") != strings.Index(dataLines[1], "3.5") {
 		t.Error("columns misaligned")
+	}
+}
+
+func TestFloatAdaptive(t *testing.T) {
+	cases := map[float64]string{
+		3.5:       "3.5",
+		3:         "3",
+		0:         "0",
+		-2:        "-2",
+		1234.5678: "1235",
+		0.0042:    "0.0042",
+		3.2e-05:   "3.2e-05", // a per-million-reference rate: not "0.00"
+		1.23456:   "1.235",
+	}
+	for in, want := range cases {
+		if got := Float(in); got != want {
+			t.Errorf("Float(%v) = %q, want %q", in, got, want)
+		}
 	}
 }
 

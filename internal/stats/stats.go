@@ -4,7 +4,10 @@
 // point, using a randomized experiment design to minimize bias").
 package stats
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Summary holds the moments of a sample.
 type Summary struct {
@@ -52,8 +55,25 @@ func (s Summary) CI95() float64 {
 	return t * s.StdDev / math.Sqrt(float64(s.N))
 }
 
+// Uint64n draws an unbiased uniform value in [0, n) from the stream next,
+// using Lemire's multiply-with-rejection method: the raw 64-bit draw is
+// mapped through a 128-bit multiply, and the few draws that land in the
+// truncated low fringe (where a plain `x % n` over-represents small
+// residues) are rejected and redrawn. n must be nonzero.
+func Uint64n(next func() uint64, n uint64) uint64 {
+	hi, lo := bits.Mul64(next(), n)
+	if lo < n {
+		thresh := -n % n // (2^64 - n) mod n: the biased fringe
+		for lo < thresh {
+			hi, lo = bits.Mul64(next(), n)
+		}
+	}
+	return hi
+}
+
 // Shuffle permutes order in place with a splitmix64-derived Fisher-Yates,
-// giving a deterministic randomized run order for a given seed.
+// giving a deterministic randomized run order for a given seed. Index
+// draws are unbiased (Lemire rejection), not truncated with a modulo.
 func Shuffle[T any](xs []T, seed uint64) {
 	state := seed
 	next := func() uint64 {
@@ -64,7 +84,7 @@ func Shuffle[T any](xs []T, seed uint64) {
 		return z ^ (z >> 31)
 	}
 	for i := len(xs) - 1; i > 0; i-- {
-		j := int(next() % uint64(i+1))
+		j := int(Uint64n(next, uint64(i+1)))
 		xs[i], xs[j] = xs[j], xs[i]
 	}
 }

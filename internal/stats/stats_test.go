@@ -86,3 +86,51 @@ func TestShuffleDeterministicAndSeedSensitive(t *testing.T) {
 		t.Error("different seeds gave same permutation")
 	}
 }
+
+func TestUint64nRangeAndDeterminism(t *testing.T) {
+	mk := func(seed uint64) func() uint64 {
+		state := seed
+		return func() uint64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+	}
+	a, b := mk(3), mk(3)
+	for i := 0; i < 1000; i++ {
+		x, y := Uint64n(a, 7), Uint64n(b, 7)
+		if x != y {
+			t.Fatal("same stream diverged")
+		}
+		if x >= 7 {
+			t.Fatalf("Uint64n(7) = %d", x)
+		}
+	}
+}
+
+func TestUint64nUnbiased(t *testing.T) {
+	// A bound just above 2^63 makes modulo bias enormous (an `x % n` draw
+	// would land in the low half about 75% of the time); Lemire rejection
+	// must keep the halves balanced.
+	const n = uint64(1)<<63 + 12345
+	state := uint64(99)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	low := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if Uint64n(next, n) < n/2 {
+			low++
+		}
+	}
+	if frac := float64(low) / draws; frac < 0.47 || frac > 0.53 {
+		t.Errorf("low-half fraction %.3f; biased draw", frac)
+	}
+}

@@ -9,6 +9,8 @@
 // zero-fill page creation (N_zfod).
 package workload
 
+import "math/bits"
+
 // RNG is a small, fast, deterministic generator (splitmix64). Experiments
 // use explicit seeds so runs repeat exactly.
 type RNG struct{ state uint64 }
@@ -25,12 +27,25 @@ func (r *RNG) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Intn returns a uniform int in [0, n). n must be positive.
+// Intn returns a uniform int in [0, n). n must be positive. The draw is
+// unbiased: instead of `x % n` (which over-represents residues below
+// 2^64 mod n), the raw draw is mapped through a 128-bit multiply and the
+// truncated low fringe is rejected and redrawn (Lemire's method). Kept
+// inline rather than shared with stats.Uint64n because this is the
+// workload generators' hot path and a method-value closure allocates.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("workload: Intn of non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 )
@@ -31,6 +32,26 @@ func TestIntnRange(t *testing.T) {
 		}
 	}()
 	r.Intn(0)
+}
+
+func TestIntnUnbiasedLargeBound(t *testing.T) {
+	// With n just over 2^62 on 64-bit int, a modulo draw would pile ~58%
+	// of the mass into the low half; the rejection draw must not.
+	if strconv.IntSize < 64 {
+		t.Skip("needs 64-bit int")
+	}
+	n := 1<<62 + 9999
+	r := NewRNG(17)
+	low := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if r.Intn(n) < n/2 {
+			low++
+		}
+	}
+	if frac := float64(low) / draws; frac < 0.47 || frac > 0.53 {
+		t.Errorf("low-half fraction %.3f; biased draw", frac)
+	}
 }
 
 func TestFloat64Bounds(t *testing.T) {

@@ -1,24 +1,47 @@
 package spur
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
+	"repro/internal/stats"
 )
 
+// SweepRep is one repetition of a sweep cell: its derived workload seed and
+// the (possibly quarantined) hardened-run outcome.
+type SweepRep struct {
+	Seed   uint64
+	Result Result
+	// Failure is non-nil when this repetition was quarantined: its run
+	// crashed, breached an invariant, or overran its deadline. Result then
+	// holds whatever completed before the failure.
+	Failure *RunFailure
+}
+
 // MemorySweepRow is one point of the memory-size study: a workload at one
-// memory size under one reference-bit policy.
+// memory size under one reference-bit policy, measured over Reps
+// repetitions with per-repetition derived seeds.
 type MemorySweepRow struct {
 	Workload core.WorkloadName
 	MemMB    int
 	Policy   RefPolicy
-	Result   Result
-	// Failure is non-nil when this cell was quarantined: its run crashed,
-	// breached an invariant, or overran its deadline. Result then holds
-	// whatever completed before the failure. Sibling cells are unaffected.
+	// Result and Failure are repetition 0's outcome, the cell's canonical
+	// run (charts and the per-run CSV columns read these).
+	Result  Result
 	Failure *RunFailure
+	// Reps holds every repetition in repetition order.
+	Reps []SweepRep
+	// Summaries over the non-quarantined repetitions (CI95 via the
+	// Student-t half-width, as Table 4.1 computes it).
+	PageIns   stats.Summary
+	Elapsed   stats.Summary // seconds
+	RefFaults stats.Summary
+	Flushes   stats.Summary
 }
 
 // MemorySweepOptions parameterises the sweep.
@@ -32,11 +55,29 @@ type MemorySweepOptions struct {
 	// Workloads defaults to both.
 	Workloads []core.WorkloadName
 	Refs      int64
-	Seed      uint64
+	// Seed is the experiment seed. Each (cell, repetition) derives its own
+	// workload seed from it via parallel.DeriveSeed, so no two cells share
+	// an RNG stream.
+	Seed uint64
+	// Reps is the number of repetitions per cell (the paper ran five, with
+	// a randomized experiment design); 0 means 1.
+	Reps int
+
+	// Parallel bounds how many cells run concurrently (1 = serial; <= 0
+	// means GOMAXPROCS). Results are byte-identical at any setting: every
+	// run's seed depends only on (Seed, cell, rep), and result slots are
+	// indexed by cell coordinates, not completion order.
+	Parallel int
+	// Progress, when set, is called after each run completes with the
+	// count done and the total. Calls are serialized.
+	Progress func(done, total int)
+	// Context, when non-nil, cancels the sweep early; runs not yet
+	// started are skipped and their repetitions stay zero-valued.
+	Context context.Context
 
 	// Hardening. AuditEvery audits machine invariants every N references
 	// of every cell (0 = final audit only); ArtifactDir receives a JSON
-	// repro bundle per quarantined cell; Deadline bounds each cell's
+	// repro bundle per quarantined run; Deadline bounds each run's
 	// wall-clock time (zero = unbounded).
 	AuditEvery  int64
 	ArtifactDir string
@@ -44,6 +85,7 @@ type MemorySweepOptions struct {
 
 	// Configure, when set, can adjust each cell's config before it runs
 	// (e.g. schedule fault injection for specific cells in chaos drills).
+	// It runs concurrently across cells and must not mutate shared state.
 	Configure func(cfg *Config, wl core.WorkloadName, memMB int, pol RefPolicy)
 }
 
@@ -63,6 +105,9 @@ func (o *MemorySweepOptions) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
 }
 
 // MemorySweep runs the paper's closing question — what happens to
@@ -71,10 +116,14 @@ func (o *MemorySweepOptions) fill() {
 // The paper's prediction: the benefit of reference bits "will tend to
 // decrease and may eventually become a hindrance".
 //
-// Every cell runs under the hardened runner, so a cell that crashes,
-// breaches an invariant, or overruns its deadline is quarantined — its row
-// carries the RunFailure (and repro bundle, if ArtifactDir is set) — while
-// all sibling cells complete normally.
+// The sweep follows the paper's experiment design: Reps repetitions per
+// cell, executed in a deterministically shuffled order (randomized
+// experiment design), each repetition on its own derived seed. Runs are
+// dispatched Parallel at a time through the bounded engine; every run stays
+// under the hardened runner, so a run that crashes, breaches an invariant,
+// or overruns its deadline is quarantined — its repetition carries the
+// RunFailure (and repro bundle, if ArtifactDir is set) — while all sibling
+// runs complete normally.
 func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 	opts.fill()
 	runOpts := RunOptions{
@@ -82,45 +131,107 @@ func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 		Deadline:    opts.Deadline,
 		ArtifactDir: opts.ArtifactDir,
 	}
-	var rows []MemorySweepRow
+
+	type cell struct {
+		wl  core.WorkloadName
+		mb  int
+		pol RefPolicy
+	}
+	var cells []cell
 	for _, wl := range opts.Workloads {
-		spec := SLC()
-		if wl == core.Workload1 {
-			spec = Workload1()
-		}
 		for _, mb := range opts.SizesMB {
 			for _, pol := range opts.Policies {
-				cfg := DefaultConfig()
-				cfg.MemoryBytes = mb << 20
-				cfg.TotalRefs = opts.Refs
-				cfg.Seed = opts.Seed
-				cfg.Ref = pol
-				if opts.Configure != nil {
-					opts.Configure(&cfg, wl, mb, pol)
-				}
-				res, fail := RunHardened(cfg, spec, runOpts)
-				rows = append(rows, MemorySweepRow{
-					Workload: wl, MemMB: mb, Policy: pol,
-					Result: res, Failure: fail,
-				})
+				cells = append(cells, cell{wl, mb, pol})
 			}
 		}
+	}
+	rows := make([]MemorySweepRow, len(cells))
+	for i, c := range cells {
+		rows[i] = MemorySweepRow{
+			Workload: c.wl, MemMB: c.mb, Policy: c.pol,
+			Reps: make([]SweepRep, opts.Reps),
+		}
+	}
+
+	// Randomized experiment design: the execution order of the (cell, rep)
+	// runs is shuffled deterministically per seed. Result slots are indexed
+	// by coordinates, so the output never depends on this order — only the
+	// interleaving of resource pressure does, which is what the paper's
+	// design randomizes against.
+	type job struct{ cell, rep int }
+	jobs := make([]job, 0, len(cells)*opts.Reps)
+	for ci := range cells {
+		for rep := 0; rep < opts.Reps; rep++ {
+			jobs = append(jobs, job{ci, rep})
+		}
+	}
+	stats.Shuffle(jobs, opts.Seed*0x9e3779b9+17)
+
+	parallel.ForEach(len(jobs), parallel.Options{
+		Workers:  opts.Parallel,
+		Context:  opts.Context,
+		Progress: opts.Progress,
+	}, func(i int) {
+		j := jobs[i]
+		c := cells[j.cell]
+		cfg := DefaultConfig()
+		cfg.MemoryBytes = core.MiB(c.mb)
+		cfg.TotalRefs = opts.Refs
+		cfg.Seed = parallel.DeriveSeed(opts.Seed, uint64(j.cell), uint64(j.rep))
+		cfg.Ref = c.pol
+		if opts.Configure != nil {
+			opts.Configure(&cfg, c.wl, c.mb, c.pol)
+		}
+		spec := SLC()
+		if c.wl == core.Workload1 {
+			spec = Workload1()
+		}
+		res, fail := RunHardened(cfg, spec, runOpts)
+		// Each job owns its (cell, rep) slot; no two jobs share memory.
+		rows[j.cell].Reps[j.rep] = SweepRep{Seed: cfg.Seed, Result: res, Failure: fail}
+	})
+
+	for i := range rows {
+		r := &rows[i]
+		r.Result = r.Reps[0].Result
+		r.Failure = r.Reps[0].Failure
+		var pageIns, elapsed, refFaults, flushes []float64
+		for _, rep := range r.Reps {
+			if rep.Failure != nil {
+				continue
+			}
+			ev := rep.Result.Events
+			pageIns = append(pageIns, float64(ev.PageIns))
+			elapsed = append(elapsed, rep.Result.ElapsedSeconds)
+			refFaults = append(refFaults, float64(ev.RefFaults))
+			flushes = append(flushes, float64(ev.PageFlushes))
+		}
+		r.PageIns = stats.Summarize(pageIns)
+		r.Elapsed = stats.Summarize(elapsed)
+		r.RefFaults = stats.Summarize(refFaults)
+		r.Flushes = stats.Summarize(flushes)
 	}
 	return rows
 }
 
-// SweepFailures extracts the quarantined cells of a sweep.
+// SweepFailures extracts the cells with at least one quarantined
+// repetition.
 func SweepFailures(rows []MemorySweepRow) []MemorySweepRow {
 	var bad []MemorySweepRow
 	for _, r := range rows {
-		if r.Failure != nil {
-			bad = append(bad, r)
+		for _, rep := range r.Reps {
+			if rep.Failure != nil {
+				bad = append(bad, r)
+				break
+			}
 		}
 	}
 	return bad
 }
 
-// MemorySweepChart renders one workload's page-in curves per policy.
+// MemorySweepChart renders one workload's page-in curves per policy
+// (repetition means; cells whose every repetition was quarantined are
+// skipped).
 func MemorySweepChart(rows []MemorySweepRow, wl core.WorkloadName) string {
 	ch := &report.Chart{
 		Title:  fmt.Sprintf("Page-ins vs memory size — %s", wl),
@@ -130,9 +241,9 @@ func MemorySweepChart(rows []MemorySweepRow, wl core.WorkloadName) string {
 	for _, pol := range RefPolicies {
 		var xs, ys []float64
 		for _, r := range rows {
-			if r.Workload == wl && r.Policy == pol && r.Failure == nil {
+			if r.Workload == wl && r.Policy == pol && r.PageIns.N > 0 {
 				xs = append(xs, float64(r.MemMB))
-				ys = append(ys, float64(r.Result.Events.PageIns))
+				ys = append(ys, r.PageIns.Mean)
 			}
 		}
 		if len(xs) > 0 {
@@ -142,14 +253,22 @@ func MemorySweepChart(rows []MemorySweepRow, wl core.WorkloadName) string {
 	return ch.String()
 }
 
-// MemorySweepCSV renders the sweep as CSV for external plotting.
+// MemorySweepCSV renders the sweep as CSV for external plotting: the
+// canonical (repetition 0) run's raw counts, then the cross-repetition
+// mean and 95% confidence half-width columns. The output is deterministic
+// for a given seed at any Parallel setting.
 func MemorySweepCSV(rows []MemorySweepRow) string {
-	s := "workload,mem_mb,policy,page_ins,ref_faults,ref_clears,page_flushes,elapsed_s,cycles\n"
+	s := "workload,mem_mb,policy,page_ins,ref_faults,ref_clears,page_flushes,elapsed_s,cycles," +
+		"reps,ok_reps,page_ins_mean,page_ins_ci95,elapsed_mean,elapsed_ci95\n"
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, r := range rows {
 		ev := r.Result.Events
-		s += fmt.Sprintf("%s,%d,%s,%d,%d,%d,%d,%.2f,%d\n",
+		s += fmt.Sprintf("%s,%d,%s,%d,%d,%d,%d,%.2f,%d,%d,%d,%s,%s,%s,%s\n",
 			r.Workload, r.MemMB, r.Policy, ev.PageIns, ev.RefFaults,
-			ev.RefClears, ev.PageFlushes, r.Result.ElapsedSeconds, r.Result.Cycles)
+			ev.RefClears, ev.PageFlushes, r.Result.ElapsedSeconds, r.Result.Cycles,
+			len(r.Reps), r.PageIns.N,
+			f(r.PageIns.Mean), f(r.PageIns.CI95()),
+			f(r.Elapsed.Mean), f(r.Elapsed.CI95()))
 	}
 	return s
 }

@@ -1,9 +1,11 @@
 package spur
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/stats"
 )
@@ -15,10 +17,19 @@ type Table41Options struct {
 	// Reps is the number of repetitions per data point (the paper ran
 	// five, with a randomized experiment design); 0 means 3.
 	Reps int
-	// Seed drives both the workloads and the run-order randomization.
+	// Seed drives the run-order randomization; every (cell, repetition)
+	// derives its own workload seed from it, so no two cells share an RNG
+	// stream.
 	Seed uint64
 	// SizesMB defaults to the paper's {5, 6, 8}.
 	SizesMB []int
+
+	// Parallel bounds concurrent runs (1 = serial; <= 0 means GOMAXPROCS);
+	// results are identical at any setting. Progress, when set, is called
+	// after each run (serialized). Context cancels the experiment early.
+	Parallel int
+	Progress func(done, total int)
+	Context  context.Context
 }
 
 func (o *Table41Options) fill() {
@@ -57,81 +68,102 @@ type Table41Row struct {
 
 // Table41 runs the reference-bit policy comparison: MISS, REF and NOREF on
 // both workloads at each memory size, with randomized run order across
-// repetitions, reproducing Table 4.1.
+// repetitions, reproducing Table 4.1. Runs go through the bounded parallel
+// engine; each (cell, repetition) gets its own derived workload seed.
 func Table41(opts Table41Options) []Table41Row {
 	opts.fill()
 
-	type point struct {
+	type cell struct {
 		wl     core.WorkloadName
 		mb     int
 		policy RefPolicy
-		rep    int
 	}
-	var runs []point
+	var cells []cell
 	for _, wl := range []core.WorkloadName{core.SLC, core.Workload1} {
 		for _, mb := range opts.SizesMB {
 			for _, pol := range RefPolicies {
-				for rep := 0; rep < opts.Reps; rep++ {
-					runs = append(runs, point{wl, mb, pol, rep})
-				}
+				cells = append(cells, cell{wl, mb, pol})
 			}
 		}
 	}
-	// Randomized experiment design: the execution order of the data
-	// points is shuffled (deterministically per seed).
-	stats.Shuffle(runs, opts.Seed*0x9e3779b9+7)
 
-	type key struct {
-		wl     core.WorkloadName
-		mb     int
-		policy RefPolicy
+	// Randomized experiment design: the execution order of the data points
+	// is shuffled (deterministically per seed). Results land in slots
+	// indexed by (cell, rep), so the measured numbers never depend on the
+	// order — each run's seed is a pure function of its coordinates.
+	type job struct{ cell, rep int }
+	jobs := make([]job, 0, len(cells)*opts.Reps)
+	for ci := range cells {
+		for rep := 0; rep < opts.Reps; rep++ {
+			jobs = append(jobs, job{ci, rep})
+		}
 	}
-	samples := map[key]*struct{ pageIns, elapsed, refFaults, flushes []float64 }{}
-	for _, r := range runs {
+	stats.Shuffle(jobs, opts.Seed*0x9e3779b9+7)
+
+	results := make([][]Result, len(cells))
+	for i := range results {
+		results[i] = make([]Result, opts.Reps)
+	}
+	parallel.ForEach(len(jobs), parallel.Options{
+		Workers:  opts.Parallel,
+		Context:  opts.Context,
+		Progress: opts.Progress,
+	}, func(i int) {
+		j := jobs[i]
+		c := cells[j.cell]
 		cfg := DefaultConfig()
-		cfg.MemoryBytes = r.mb << 20
+		cfg.MemoryBytes = core.MiB(c.mb)
 		cfg.TotalRefs = opts.Refs
-		cfg.Seed = opts.Seed + uint64(r.rep)*1315423911
-		cfg.Ref = r.policy
+		cfg.Seed = parallel.DeriveSeed(opts.Seed, uint64(j.cell), uint64(j.rep))
+		cfg.Ref = c.policy
 		spec := SLC()
-		if r.wl == core.Workload1 {
+		if c.wl == core.Workload1 {
 			spec = Workload1()
 		}
-		res := Run(cfg, spec)
-		k := key{r.wl, r.mb, r.policy}
-		s := samples[k]
-		if s == nil {
-			s = &struct{ pageIns, elapsed, refFaults, flushes []float64 }{}
-			samples[k] = s
+		results[j.cell][j.rep] = Run(cfg, spec)
+	})
+
+	summarize := func(ci int) (pageIns, elapsed, refFaults, flushes []float64) {
+		for _, res := range results[ci] {
+			pageIns = append(pageIns, float64(res.Events.PageIns))
+			elapsed = append(elapsed, res.ElapsedSeconds)
+			refFaults = append(refFaults, float64(res.Events.RefFaults))
+			flushes = append(flushes, float64(res.Events.PageFlushes))
 		}
-		s.pageIns = append(s.pageIns, float64(res.Events.PageIns))
-		s.elapsed = append(s.elapsed, res.ElapsedSeconds)
-		s.refFaults = append(s.refFaults, float64(res.Events.RefFaults))
-		s.flushes = append(s.flushes, float64(res.Events.PageFlushes))
+		return
+	}
+
+	cellIndex := func(wl core.WorkloadName, mb int, pol RefPolicy) int {
+		for i, c := range cells {
+			if c.wl == wl && c.mb == mb && c.policy == pol {
+				return i
+			}
+		}
+		panic("spur: unknown Table 4.1 cell")
 	}
 
 	var rows []Table41Row
 	for _, wl := range []core.WorkloadName{core.SLC, core.Workload1} {
 		for _, mb := range opts.SizesMB {
-			base := samples[key{wl, mb, RefMISS}]
-			basePage := stats.Summarize(base.pageIns).Mean
-			baseElapsed := stats.Summarize(base.elapsed).Mean
+			basePage, baseElapsed, _, _ := summarize(cellIndex(wl, mb, RefMISS))
+			baseP := stats.Summarize(basePage).Mean
+			baseE := stats.Summarize(baseElapsed).Mean
 			for _, pol := range RefPolicies {
-				s := samples[key{wl, mb, pol}]
+				pageIns, elapsed, refFaults, flushes := summarize(cellIndex(wl, mb, pol))
 				row := Table41Row{
 					Workload:  wl,
 					MemMB:     mb,
 					Policy:    pol,
-					PageIns:   stats.Summarize(s.pageIns),
-					Elapsed:   stats.Summarize(s.elapsed),
-					RefFaults: stats.Summarize(s.refFaults),
-					Flushes:   stats.Summarize(s.flushes),
+					PageIns:   stats.Summarize(pageIns),
+					Elapsed:   stats.Summarize(elapsed),
+					RefFaults: stats.Summarize(refFaults),
+					Flushes:   stats.Summarize(flushes),
 				}
-				if basePage > 0 {
-					row.RelPageIns = row.PageIns.Mean / basePage
+				if baseP > 0 {
+					row.RelPageIns = row.PageIns.Mean / baseP
 				}
-				if baseElapsed > 0 {
-					row.RelElapsed = row.Elapsed.Mean / baseElapsed
+				if baseE > 0 {
+					row.RelElapsed = row.Elapsed.Mean / baseE
 				}
 				rows = append(rows, row)
 			}
@@ -140,13 +172,14 @@ func Table41(opts Table41Options) []Table41Row {
 	return rows
 }
 
-// RenderTable41 renders measured rows in the paper's Table 4.1 layout; with
-// paper=true each policy row carries the published values alongside.
+// RenderTable41 renders measured rows in the paper's Table 4.1 layout, with
+// 95% confidence half-widths next to the repetition means; with paper=true
+// each policy row carries the published values alongside.
 func RenderTable41(rows []Table41Row, paper bool) *report.Table {
 	t := &report.Table{
 		Title: "Table 4.1: Reference Bit Results",
 		Header: []string{"Workload", "Memory(MB)", "Policy",
-			"Page-Ins", "(rel)", "Elapsed(s)", "(rel)", "paper pg-ins", "paper elapsed"},
+			"Page-Ins", "±95%", "(rel)", "Elapsed(s)", "±95%", "(rel)", "paper pg-ins", "paper elapsed"},
 	}
 	for _, r := range rows {
 		pp, pe := "", ""
@@ -157,8 +190,10 @@ func RenderTable41(rows []Table41Row, paper bool) *report.Table {
 			}
 		}
 		t.Add(string(r.Workload), r.MemMB, r.Policy.String(),
-			fmt.Sprintf("%.0f", r.PageIns.Mean), report.Pct(r.RelPageIns),
-			fmt.Sprintf("%.0f", r.Elapsed.Mean), report.Pct(r.RelElapsed),
+			fmt.Sprintf("%.0f", r.PageIns.Mean), "±"+report.Float(r.PageIns.CI95()),
+			report.Pct(r.RelPageIns),
+			fmt.Sprintf("%.0f", r.Elapsed.Mean), "±"+report.Float(r.Elapsed.CI95()),
+			report.Pct(r.RelElapsed),
 			pp, pe)
 	}
 	return t

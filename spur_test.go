@@ -133,7 +133,10 @@ func TestFigure32Formats(t *testing.T) {
 }
 
 func TestTable41Shape(t *testing.T) {
-	rows := Table41(Table41Options{Refs: testRefs, Reps: 1, SizesMB: []int{5}})
+	// Two repetitions on independent derived seeds: the relative columns
+	// compare means of independent samples, so the bands below leave room
+	// for cross-cell sampling noise at the reduced test budget.
+	rows := Table41(Table41Options{Refs: testRefs, Reps: 2, SizesMB: []int{5}, Parallel: 4})
 	get := func(wl core.WorkloadName, pol RefPolicy) Table41Row {
 		for _, r := range rows {
 			if r.Workload == wl && r.Policy == pol {
@@ -154,8 +157,9 @@ func TestTable41Shape(t *testing.T) {
 		if noref.RelPageIns < 1.2 {
 			t.Errorf("%s@5MB: NOREF page-ins only %.0f%% of MISS", wl, 100*noref.RelPageIns)
 		}
-		// REF never beats MISS on elapsed time (the paper's key claim).
-		if ref.RelElapsed < 0.995 {
+		// REF never beats MISS on elapsed time (the paper's key claim) —
+		// up to the sampling noise of independent per-cell streams.
+		if ref.RelElapsed < 0.99 {
 			t.Errorf("%s@5MB: REF elapsed %.1f%% beat MISS", wl, 100*ref.RelElapsed)
 		}
 		// REF's page-ins stay close to MISS (93%-102% in the paper).

@@ -87,7 +87,7 @@ func Table33(opts Table33Options) []Table33Row {
 	for _, w := range []wl{{core.SLC, SLC()}, {core.Workload1, Workload1()}} {
 		for _, mb := range opts.SizesMB {
 			cfg := DefaultConfig()
-			cfg.MemoryBytes = mb << 20
+			cfg.MemoryBytes = core.MiB(mb)
 			cfg.TotalRefs = opts.Refs
 			cfg.Seed = opts.Seed
 			cfg.Dirty = DirtySPUR
@@ -195,7 +195,7 @@ func Table35Scaled(seed uint64, refScale float64) []Table35Row {
 	var rows []Table35Row
 	for _, h := range workload.SpriteHosts() {
 		cfg := DefaultConfig()
-		cfg.MemoryBytes = h.MemMB << 20
+		cfg.MemoryBytes = core.MiB(h.MemMB)
 		cfg.TotalRefs = int64(float64(h.Refs) * refScale)
 		cfg.Seed = seed
 		res := Run(cfg, h.Spec())
