@@ -1,0 +1,94 @@
+// Command spurd serves the repository's experiments over HTTP: a daemon
+// with a content-addressed result store, an in-flight-deduping bounded job
+// queue, and 429 + Retry-After load shedding. Deterministic runs make every
+// result memoizable, so a table or sweep is simulated once and then served
+// from the store for as long as the code version stands.
+//
+// Usage:
+//
+//	spurd                              # serve on 127.0.0.1:7421, store in ./spurd-store
+//	spurd -addr 127.0.0.1:0            # any free port (the chosen address is logged)
+//	spurd -store /var/cache/spur -jobs 8 -queue 64
+//
+// Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/tables/{id},
+// GET /healthz. SIGTERM/SIGINT drain gracefully: the listener closes,
+// in-flight requests finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7421", "listen address (port 0 picks a free port)")
+	store := flag.String("store", "spurd-store", "result-store directory (empty = memory only)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrently executing jobs")
+	queue := flag.Int("queue", 0, "waiting jobs before load shedding (0 = 4x -jobs, negative = none)")
+	par := flag.Int("par", 0, "per-sweep worker bound (0 = -jobs)")
+	drain := flag.Duration("drain", time.Minute, "graceful-shutdown budget")
+	flag.Parse()
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "spurd: -jobs must be at least 1")
+		os.Exit(2)
+	}
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	s, err := server.New(server.Config{
+		StoreDir: *store,
+		MaxRun:   *jobs,
+		MaxQueue: *queue,
+		Parallel: *par,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("spurd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("spurd: %v", err)
+	}
+	// The first log line carries the resolved address so scripts using
+	// port 0 can discover where we landed.
+	log.Printf("spurd: listening on http://%s (store %q, %d jobs, queue %d)",
+		ln.Addr(), *store, *jobs, *queue)
+
+	srv := &http.Server{Handler: s}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-done:
+		log.Fatalf("spurd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("spurd: draining (in-flight requests get %s)...", *drain)
+	s.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("spurd: drain: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("spurd: %v", err)
+	}
+	st := s.Store().Stats()
+	log.Printf("spurd: drained cleanly (store: %d mem hits, %d disk hits, %d misses, %d evictions)",
+		st.MemHits, st.DiskHits, st.Misses, st.Evictions)
+}

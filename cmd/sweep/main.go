@@ -7,15 +7,22 @@
 // -reps the repetitions per cell (the paper ran five, in randomized order).
 // Output is byte-identical at any -par for the same seed.
 //
+// With -remote, the sweep is served by a spurd daemon instead of computed
+// locally: the request is answered from the daemon's content-addressed
+// result store when an identical sweep has run before, and the output is
+// byte-identical to the local run either way.
+//
 // Usage:
 //
 //	sweep                      # both workloads, 4-16 MB, all policies
 //	sweep -par 8 -reps 5       # the paper's design, 8 runs at a time
 //	sweep -w slc -refs 4000000 # quicker
 //	sweep -csv > sweep.csv     # machine-readable, with mean/CI95 columns
+//	sweep -remote http://127.0.0.1:7421 -csv   # served (and memoized) by spurd
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 
 	spur "repro"
 	"repro/internal/core"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -33,20 +41,44 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "concurrent runs (1 = serial)")
 	progress := flag.Bool("progress", false, "report run completion on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
+	remote := flag.String("remote", "", "spurd base URL; the sweep is served (and memoized) by the daemon")
 	flag.Parse()
+
+	// Validate before anything runs: a zero or negative count would
+	// otherwise misbehave deep inside the experiment engine.
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *reps < 1 {
+		usage("-reps must be at least 1 (got %d)", *reps)
+	}
+	if *par < 1 {
+		usage("-par must be at least 1 (got %d)", *par)
+	}
+	if *refs < 1 {
+		usage("-refs must be at least 1 (got %d)", *refs)
+	}
+
+	var workloads []core.WorkloadName
+	switch *wl {
+	case "workload1":
+		workloads = []core.WorkloadName{core.Workload1}
+	case "slc":
+		workloads = []core.WorkloadName{core.SLC}
+	case "all":
+	default:
+		usage("unknown workload %q", *wl)
+	}
+
+	if *remote != "" {
+		runRemote(*remote, workloads, *refs, *seed, *reps, *csv)
+		return
+	}
 
 	opts := spur.MemorySweepOptions{
 		Refs: *refs, Seed: *seed, Reps: *reps, Parallel: *par,
-	}
-	switch *wl {
-	case "workload1":
-		opts.Workloads = []core.WorkloadName{core.Workload1}
-	case "slc":
-		opts.Workloads = []core.WorkloadName{core.SLC}
-	case "all":
-	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown workload %q\n", *wl)
-		os.Exit(2)
+		Workloads: workloads,
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {
@@ -70,6 +102,36 @@ func main() {
 			fmt.Println(spur.MemorySweepChart(rows, r.Workload))
 		}
 	}
+	printPrediction()
+}
+
+// runRemote serves the sweep through a spurd daemon. The daemon renders
+// with the same code paths, so the bytes match a local run exactly.
+func runRemote(base string, workloads []core.WorkloadName, refs int64, seed uint64, reps int, csv bool) {
+	req := client.SweepRequest{Refs: refs, Seed: seed, Reps: reps}
+	for _, w := range workloads {
+		req.Workloads = append(req.Workloads, string(w))
+	}
+	if !csv {
+		req.Format = client.FormatChart
+	}
+	body, meta, err := client.New(base).Sweep(context.Background(), req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	from := "computed"
+	if meta.Cached {
+		from = "served from the result store"
+	}
+	fmt.Fprintf(os.Stderr, "sweep: remote %s (%s, key %.12s...)\n", base, from, meta.Key)
+	fmt.Print(string(body))
+	if !csv {
+		printPrediction()
+	}
+}
+
+func printPrediction() {
 	fmt.Println("The paper's prediction: reference bits' benefit declines with memory and")
 	fmt.Println("may become a hindrance — the curves converge as paging disappears, leaving")
 	fmt.Println("only MISS/REF's maintenance overhead.")

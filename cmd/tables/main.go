@@ -7,15 +7,24 @@
 //	tables -t 3.3                 # one table: 2.1, 3.1, 3.2, 3.3, 3.4, 3.5, 4.1
 //	tables -t f3.1                # a figure: f3.1, f3.2
 //	tables -refs 4000000 -reps 1  # quicker, coarser runs
+//	tables -json                  # machine-readable report.Doc JSON
+//	tables -remote http://127.0.0.1:7421 -t 3.3   # served (and memoized) by spurd
+//
+// -json emits the shared report.Doc serialization — the same shape the
+// spurd daemon's /v1/tables endpoint returns, so scripted consumers parse
+// one format whether the tables were computed locally or served remotely.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
 	spur "repro"
+	"repro/internal/report"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -25,72 +34,150 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "concurrent runs for Table 4.1 (1 = serial)")
 	paper := flag.Bool("paper", true, "print published values alongside")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (report.Doc rows) instead of text")
+	remote := flag.String("remote", "", "spurd base URL; tables are served (and memoized) by the daemon")
 	flag.Parse()
 
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *refs < 0 || *reps < 0 {
+		usage("-refs and -reps must not be negative (got %d, %d)", *refs, *reps)
+	}
+	if *par < 1 {
+		usage("-par must be at least 1 (got %d)", *par)
+	}
+
+	var docs []report.Doc
+	if *remote != "" {
+		docs = remoteDocs(*remote, *which, *refs, *reps, *seed, *paper, usage)
+	} else {
+		docs = localDocs(*which, *refs, *reps, *seed, *par, *paper, usage)
+	}
+
+	if *jsonOut {
+		b, err := report.RenderJSON(docs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+		return
+	}
+	for _, d := range docs {
+		if d.Text != "" {
+			fmt.Println(d.Text)
+			continue
+		}
+		t := report.Table{Title: d.Title, Header: d.Header, Rows: d.Rows, Notes: d.Notes}
+		fmt.Println(t.String())
+	}
+}
+
+// localDocs computes the requested artifacts in-process, in the shared
+// report.Doc form.
+func localDocs(which string, refs int64, reps int, seed uint64, par int, paper bool, usage func(string, ...any)) []report.Doc {
 	// "all" covers the paper's tables and figures; the extension sweeps
 	// run only when asked for by name.
 	want := func(name string) bool {
 		if name == "ext" {
-			return *which == "ext"
+			return which == "ext"
 		}
-		return *which == "all" || *which == name
+		return which == "all" || which == name
 	}
-	printed := false
-	show := func(s string) {
-		fmt.Println(s)
-		printed = true
-	}
+	var docs []report.Doc
+	add := func(d report.Doc) { docs = append(docs, d) }
 
 	if want("2.1") {
-		show(spur.Table21().String())
+		add(spur.Table21().Doc())
 	}
 	if want("3.1") {
-		show(spur.Table31().String())
+		add(spur.Table31().Doc())
 	}
 	if want("3.2") {
-		show(spur.Table32().String())
+		add(spur.Table32().Doc())
 	}
 	if want("f3.1") {
-		show(spur.Figure31())
+		add(report.TextDoc("Figure 3.1", spur.Figure31()))
 	}
 	if want("f3.2") {
-		show(spur.Figure32() + "\n")
+		add(report.TextDoc("Figure 3.2", spur.Figure32()))
 	}
 
 	var rows33 []spur.Table33Row
 	if want("3.3") || want("3.4") {
 		fmt.Fprintln(os.Stderr, "running Table 3.3 event-frequency sweeps...")
-		rows33 = spur.Table33(spur.Table33Options{Refs: *refs, Seed: *seed})
+		rows33 = spur.Table33(spur.Table33Options{Refs: refs, Seed: seed})
 	}
 	if want("3.3") {
-		show(spur.RenderTable33(rows33, *paper).String())
+		add(spur.RenderTable33(rows33, paper).Doc())
 	}
 	if want("3.4") {
-		show(spur.Table34(rows33).String())
-		if *paper {
-			show(spur.PaperTable34().String())
+		add(spur.Table34(rows33).Doc())
+		if paper {
+			add(spur.PaperTable34().Doc())
 		}
 	}
 	if want("3.5") {
 		fmt.Fprintln(os.Stderr, "running Table 3.5 Sprite host sweeps...")
-		show(spur.RenderTable35(spur.Table35(*seed), *paper).String())
+		add(spur.RenderTable35(spur.Table35(seed), paper).Doc())
 	}
 	if want("4.1") {
 		fmt.Fprintln(os.Stderr, "running Table 4.1 reference-bit policy sweeps (this is the long one)...")
-		rows := spur.Table41(spur.Table41Options{Refs: *refs, Reps: *reps, Seed: *seed, Parallel: *par})
-		show(spur.RenderTable41(rows, *paper).String())
+		rows := spur.Table41(spur.Table41Options{Refs: refs, Reps: reps, Seed: seed, Parallel: par})
+		add(spur.RenderTable41(rows, paper).Doc())
 	}
 	if want("ext") {
 		fmt.Fprintln(os.Stderr, "running extension sweeps (cache size, fault-handler cost)...")
-		show(spur.RenderCacheSweep(spur.CacheSweep(spur.CacheSweepOptions{Refs: *refs, Seed: *seed})).String())
+		add(spur.RenderCacheSweep(spur.CacheSweep(spur.CacheSweepOptions{Refs: refs, Seed: seed})).Doc())
 		if rows33 == nil {
-			rows33 = spur.Table33(spur.Table33Options{Refs: *refs, Seed: *seed, SizesMB: []int{5}})
+			rows33 = spur.Table33(spur.Table33Options{Refs: refs, Seed: seed, SizesMB: []int{5}})
 		}
-		show(spur.RenderFaultHandlerSweep(spur.FaultHandlerSweep(rows33[0].Events)).String())
+		add(spur.RenderFaultHandlerSweep(spur.FaultHandlerSweep(rows33[0].Events)).Doc())
 	}
 
-	if !printed {
-		fmt.Fprintf(os.Stderr, "unknown table %q; valid: 2.1 3.1 3.2 3.3 3.4 3.5 4.1 f3.1 f3.2 all\n", *which)
-		os.Exit(2)
+	if len(docs) == 0 {
+		usage("unknown table %q; valid: 2.1 3.1 3.2 3.3 3.4 3.5 4.1 f3.1 f3.2 ext all")
 	}
+	return docs
+}
+
+// remoteDocs fetches the requested artifacts from a spurd daemon; repeated
+// invocations are answered from its result store without re-simulating.
+func remoteDocs(base, which string, refs int64, reps int, seed uint64, paper bool, usage func(string, ...any)) []report.Doc {
+	var ids []string
+	if which == "all" {
+		// The same coverage as a local -t all (extensions stay opt-in).
+		for _, id := range client.TableIDs {
+			if id != "ext" {
+				ids = append(ids, id)
+			}
+		}
+	} else if client.ValidTableID(which) {
+		ids = []string{which}
+	} else {
+		usage("unknown table %q; valid: 2.1 3.1 3.2 3.3 3.4 3.5 4.1 f3.1 f3.2 ext all", which)
+	}
+	c := client.New(base)
+	q := client.TablesQuery{Refs: refs, Reps: reps, Seed: seed, Paper: paper}
+	var docs []report.Doc
+	for _, id := range ids {
+		resp, err := c.Tables(context.Background(), id, q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		from := "computed"
+		if resp.Cached {
+			from = "served from the result store"
+		}
+		fmt.Fprintf(os.Stderr, "tables: %s %s (key %.12s...)\n", id, from, resp.Key)
+		for _, d := range resp.Docs {
+			docs = append(docs, report.Doc{
+				Title: d.Title, Header: d.Header, Rows: d.Rows, Notes: d.Notes, Text: d.Text,
+			})
+		}
+	}
+	return docs
 }

@@ -92,6 +92,17 @@ func (p DirtyPolicy) UsesProtectionEmulation() bool {
 	return p == DirtyFAULT || p == DirtyFLUSH || p == DirtyPROT
 }
 
+// ParseDirtyPolicy maps a policy name ("SPUR", "fault", ...) to its
+// DirtyPolicy, for command-line and wire use. Matching is case-insensitive.
+func ParseDirtyPolicy(s string) (DirtyPolicy, error) {
+	for _, p := range AllDirtyPolicies {
+		if equalFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown dirty policy %q (want MIN, FAULT, FLUSH, SPUR, WRITE or PROT)", s)
+}
+
 // RefPolicy selects a reference-bit policy (Section 4).
 type RefPolicy uint8
 
@@ -124,4 +135,36 @@ func (p RefPolicy) String() string {
 		return "NOREF"
 	}
 	return fmt.Sprintf("RefPolicy(%d)", uint8(p))
+}
+
+// ParseRefPolicy maps a policy name ("MISS", "ref", "noref") to its
+// RefPolicy, for command-line and wire use. Matching is case-insensitive.
+func ParseRefPolicy(s string) (RefPolicy, error) {
+	for _, p := range RefPolicies {
+		if equalFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown reference policy %q (want MISS, REF or NOREF)", s)
+}
+
+// equalFold is strings.EqualFold for the ASCII names above, kept local so
+// the policy file stays dependency-free.
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }

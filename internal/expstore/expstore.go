@@ -1,0 +1,283 @@
+// Package expstore is a content-addressed result store for deterministic
+// experiments. PR 2 made every run a pure function of its canonical spec
+// — {config, workload spec, seed, reps, code version} — so a result can be
+// memoized under a hash of that spec and replayed forever without burning
+// simulator cycles.
+//
+// The store is two-level: an in-memory LRU front for the hot keys a serving
+// daemon sees, backed by an on-disk directory of immutable JSON blobs.
+// Disk writes are crash-safe by construction (O_EXCL temp file + rename),
+// concurrent writers of the same key are harmless (first rename wins, the
+// bytes are identical by determinism), and hit/miss/eviction counters feed
+// the daemon's /healthz endpoint.
+package expstore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Key is the content address of one experiment result: the hex SHA-256 of
+// the canonical serialization of everything the result depends on.
+type Key string
+
+// KeyOf computes the content address for an experiment. version is the
+// code version (results are invalidated wholesale when the simulator
+// changes), kind names the experiment family ("run", "sweep", "tables"),
+// and spec is the canonicalized request — callers must apply defaults
+// before hashing so equivalent requests share a key. Hashing marshals spec
+// through encoding/json, which is deterministic for structs (declaration
+// order) and maps (sorted keys).
+func KeyOf(version, kind string, spec any) (Key, error) {
+	payload, err := json.Marshal(struct {
+		Version string `json:"version"`
+		Kind    string `json:"kind"`
+		Spec    any    `json:"spec"`
+	}{version, kind, spec})
+	if err != nil {
+		return "", fmt.Errorf("expstore: canonicalizing %s spec: %w", kind, err)
+	}
+	sum := sha256.Sum256(payload)
+	return Key(hex.EncodeToString(sum[:])), nil
+}
+
+func (k Key) valid() bool {
+	if len(k) != 2*sha256.Size {
+		return false
+	}
+	for _, c := range k {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// MemHits served from the LRU front; DiskHits from the backing
+	// directory (promoting the entry into the front); Misses found
+	// nothing.
+	MemHits  uint64 `json:"mem_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+	Misses   uint64 `json:"misses"`
+	// Puts counts successful stores (including rediscovered concurrent
+	// writes); Evictions counts LRU-front expulsions (the disk copy
+	// remains).
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe the current LRU front.
+	Entries int `json:"entries"`
+	Bytes   int `json:"bytes"`
+}
+
+// Hits is the total over both levels.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// Options tunes a store.
+type Options struct {
+	// MaxEntries bounds the LRU front's entry count (default 512;
+	// negative disables the front entirely).
+	MaxEntries int
+	// MaxBytes bounds the LRU front's payload bytes (default 256 MiB).
+	MaxBytes int
+}
+
+func (o Options) fill() Options {
+	if o.MaxEntries == 0 {
+		o.MaxEntries = 512
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 256 << 20
+	}
+	return o
+}
+
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// Store is a two-level content-addressed result store. It is safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recent; values are *entry
+	index map[Key]*list.Element
+	bytes int
+	stats Stats
+}
+
+// Open creates (if needed) and opens the store rooted at dir. An empty dir
+// yields a memory-only store: the LRU front works, disk persistence is
+// disabled.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("expstore: opening %s: %w", dir, err)
+		}
+	}
+	return &Store{
+		dir:   dir,
+		opts:  opts.fill(),
+		lru:   list.New(),
+		index: make(map[Key]*list.Element),
+	}, nil
+}
+
+// Dir returns the backing directory ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// path shards blobs by the key's first byte so one directory never holds
+// every result: <dir>/ab/abcdef....json.
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, string(k[:2]), string(k)+".json")
+}
+
+// Get returns the stored bytes for k and whether they were found. Callers
+// must not mutate the returned slice.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	if !k.valid() {
+		return nil, false
+	}
+	s.mu.Lock()
+	if el, ok := s.index[k]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.MemHits++
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		return data, true
+	}
+	s.mu.Unlock()
+
+	if s.dir != "" {
+		if data, err := os.ReadFile(s.path(k)); err == nil {
+			s.mu.Lock()
+			s.stats.DiskHits++
+			s.admit(k, data)
+			s.mu.Unlock()
+			return data, true
+		}
+	}
+	s.mu.Lock()
+	s.stats.Misses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// Put stores data under k: an atomic O_EXCL-temp-plus-rename disk write
+// (so a crash never leaves a torn blob, and concurrent writers of the same
+// key are benign) and admission into the LRU front. Re-putting an existing
+// key is a no-op success — by determinism the bytes are identical.
+func (s *Store) Put(k Key, data []byte) error {
+	if !k.valid() {
+		return fmt.Errorf("expstore: invalid key %q", k)
+	}
+	if s.dir != "" {
+		path := s.path(k)
+		if _, err := os.Stat(path); err != nil {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return fmt.Errorf("expstore: put %s: %w", k, err)
+			}
+			tmp, err := openExclTemp(path)
+			if err != nil {
+				return fmt.Errorf("expstore: put %s: %w", k, err)
+			}
+			if _, werr := tmp.Write(data); werr != nil {
+				tmp.Close()
+				os.Remove(tmp.Name())
+				return fmt.Errorf("expstore: put %s: %w", k, werr)
+			}
+			if cerr := tmp.Close(); cerr != nil {
+				os.Remove(tmp.Name())
+				return fmt.Errorf("expstore: put %s: %w", k, cerr)
+			}
+			// First rename wins; a concurrent writer's rename of
+			// identical bytes over ours is equally fine.
+			if rerr := os.Rename(tmp.Name(), path); rerr != nil {
+				os.Remove(tmp.Name())
+				return fmt.Errorf("expstore: put %s: %w", k, rerr)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	s.admit(k, data)
+	s.mu.Unlock()
+	return nil
+}
+
+// openExclTemp opens a fresh temp file next to path with O_EXCL, retrying
+// with a numeric suffix if a concurrent writer holds the first name.
+func openExclTemp(path string) (*os.File, error) {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s.tmp%d", path, i)
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) && i < 64 {
+			continue
+		}
+		return f, err
+	}
+}
+
+// admit inserts (or refreshes) k in the LRU front and evicts from the back
+// until the bounds hold again. Caller holds s.mu.
+func (s *Store) admit(k Key, data []byte) {
+	if s.opts.MaxEntries < 0 || len(data) > s.opts.MaxBytes {
+		return
+	}
+	if el, ok := s.index[k]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.index[k] = s.lru.PushFront(&entry{key: k, data: data})
+	s.bytes += len(data)
+	for s.lru.Len() > s.opts.MaxEntries || s.bytes > s.opts.MaxBytes {
+		back := s.lru.Back()
+		if back == nil || back == s.lru.Front() {
+			break
+		}
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.index, e.key)
+		s.bytes -= len(e.data)
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	st.Bytes = s.bytes
+	return st
+}
+
+// Len reports how many blobs the backing directory holds (0 for
+// memory-only stores). It walks the shard directories, so it is a
+// diagnostic, not a hot-path call.
+func (s *Store) Len() int {
+	if s.dir == "" {
+		return 0
+	}
+	n := 0
+	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

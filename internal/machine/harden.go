@@ -33,7 +33,12 @@ const (
 	FailDeadline FailureKind = "deadline"
 )
 
-// RunOptions hardens one run.
+// RunOptions hardens one run: invariant-audit cadence, a wall-clock
+// deadline, and what a failure's repro bundle should capture. The zero
+// value is a plain run (final audit only, no deadline, default trace tail).
+// None of the knobs affect simulated decisions, so hardened results are
+// bit-identical to unhardened ones; the spurd daemon accepts the same
+// knobs on the wire as repro/pkg/client.HardenedOptions.
 type RunOptions struct {
 	// AuditEvery invokes Audit every N references (continuous invariant
 	// auditing). Zero disables mid-run audits; a final audit still runs.

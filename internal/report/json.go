@@ -1,0 +1,46 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Doc is the machine-readable form of one rendered artifact — the single
+// serialization path shared by `cmd/tables -json` and the experiment
+// service's /v1/tables endpoint, so a table never has two competing JSON
+// shapes.
+type Doc struct {
+	// Title is the artifact's heading ("Table 3.3: Event Frequencies").
+	Title string `json:"title"`
+	// Header and Rows carry tabular artifacts cell-by-cell, already
+	// stringified exactly as the text rendering prints them.
+	Header []string   `json:"header,omitempty"`
+	Rows   [][]string `json:"rows,omitempty"`
+	// Notes are the table's footnotes.
+	Notes []string `json:"notes,omitempty"`
+	// Text carries pre-rendered artifacts (figures, ASCII charts) that
+	// have no tabular decomposition.
+	Text string `json:"text,omitempty"`
+}
+
+// Doc converts the table to its machine-readable form.
+func (t *Table) Doc() Doc {
+	return Doc{Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+}
+
+// TextDoc wraps a pre-rendered artifact (a figure or chart) as a Doc.
+func TextDoc(title, text string) Doc { return Doc{Title: title, Text: text} }
+
+// RenderJSON serializes docs as an indented JSON array with a trailing
+// newline — deterministic for fixed inputs, so service responses built from
+// the store are byte-identical to freshly computed ones.
+func RenderJSON(docs []Doc) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(docs); err != nil {
+		return nil, fmt.Errorf("report: rendering JSON: %w", err)
+	}
+	return b.Bytes(), nil
+}

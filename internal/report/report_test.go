@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -88,6 +90,59 @@ func TestMCycles(t *testing.T) {
 		if got := MCycles(in); got != want {
 			t.Errorf("MCycles(%d) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestDocRoundTrip(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "b"}}
+	tbl.Add("x", 12)
+	tbl.Note("n")
+	d := tbl.Doc()
+	if d.Title != "T" || len(d.Rows) != 1 || d.Rows[0][1] != "12" || d.Notes[0] != "n" {
+		t.Fatalf("Doc = %+v", d)
+	}
+	// The Doc JSON round-trips losslessly, and a Table rebuilt from it
+	// renders the same bytes — the property cmd/tables -json and the spurd
+	// /v1/tables endpoint rely on to share one serialization path.
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Doc
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Errorf("round trip changed the doc: %+v vs %+v", d, back)
+	}
+	rebuilt := Table{Title: back.Title, Header: back.Header, Rows: back.Rows, Notes: back.Notes}
+	if rebuilt.String() != tbl.String() {
+		t.Error("rebuilt table renders differently")
+	}
+}
+
+func TestTextDoc(t *testing.T) {
+	d := TextDoc("Figure", "ascii art")
+	if d.Title != "Figure" || d.Text != "ascii art" || d.Rows != nil {
+		t.Errorf("TextDoc = %+v", d)
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	docs := []Doc{TextDoc("F", "body"), {Title: "T", Header: []string{"a"}, Rows: [][]string{{"1"}}}}
+	b, err := RenderJSON(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Error("output should end with a newline")
+	}
+	var back []Doc
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(docs, back) {
+		t.Errorf("round trip changed docs: %+v vs %+v", docs, back)
 	}
 }
 

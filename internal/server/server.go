@@ -1,0 +1,507 @@
+// Package server is the spurd experiment daemon: an HTTP/JSON service that
+// turns the repository's deterministic experiment drivers into a shared,
+// memoizing facility. Because PR 2 made every run a pure function of its
+// canonical spec, the daemon can answer a repeated request from its
+// content-addressed result store (internal/expstore) in microseconds
+// instead of re-simulating for minutes, dedupe identical in-flight
+// requests down to one computation, and shed excess load with 429 +
+// Retry-After instead of melting down.
+//
+// Endpoints:
+//
+//	POST /v1/run          one simulator run (hardened; fault plans allowed)
+//	POST /v1/sweep        the memory-size study, as CSV or ASCII charts
+//	GET  /v1/tables/{id}  any paper table/figure in the shared Doc JSON
+//	GET  /healthz         store counters, queue occupancy, drain state
+//
+// Wire types live in repro/pkg/client, which is also the typed client.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	spur "repro"
+	"repro/internal/core"
+	"repro/internal/expstore"
+	"repro/internal/report"
+	"repro/pkg/client"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// StoreDir roots the on-disk result store; empty keeps results in
+	// memory only. Ignored when Store is set.
+	StoreDir string
+	// Store, when non-nil, is used directly (tests share one store
+	// across servers this way).
+	Store *expstore.Store
+	// MaxRun bounds concurrently executing jobs (default GOMAXPROCS);
+	// MaxQueue bounds jobs waiting for a slot before admission control
+	// sheds load with 429 (0 = default 4×MaxRun; negative = no waiting
+	// room, shed as soon as every slot is busy).
+	MaxRun   int
+	MaxQueue int
+	// Parallel is the per-sweep worker bound handed to the experiment
+	// engine (default MaxRun). Results are identical at any setting.
+	Parallel int
+	// Version is the code-version component of every store key
+	// (default spur.Version).
+	Version string
+	// Logf, when set, receives one line per computed (not cached) job.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) fill() Config {
+	if c.MaxRun <= 0 {
+		c.MaxRun = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxRun
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = c.MaxRun
+	}
+	if c.Version == "" {
+		c.Version = spur.Version
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the daemon; it implements http.Handler.
+type Server struct {
+	cfg      Config
+	store    *expstore.Store
+	q        *queue
+	fl       *flight
+	mux      *http.ServeMux
+	start    time.Time
+	draining atomic.Bool
+}
+
+// New assembles a server (opening the store if Config.Store is nil).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.fill()
+	store := cfg.Store
+	if store == nil {
+		var err error
+		store, err = expstore.Open(cfg.StoreDir, expstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: store,
+		q:     newQueue(cfg.MaxRun, cfg.MaxQueue),
+		fl:    newFlight(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTables)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Store exposes the result store (for /healthz-style introspection and
+// tests).
+func (s *Server) Store() *expstore.Store { return s.store }
+
+// StartDraining flips /healthz to "draining"; the caller then runs
+// http.Server.Shutdown, which stops new connections and waits for
+// in-flight requests.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// memoize is the service's core loop: serve key from the store if
+// present; otherwise let exactly one request compute it (in-flight dedupe)
+// under a bounded-queue slot (admission control), persisting the bytes
+// when fn says they are cacheable. The computation runs detached from the
+// requester's context so an abandoned request still fills the store for
+// the retry.
+func (s *Server) memoize(ctx context.Context, key expstore.Key, fn func(ctx context.Context) (data []byte, cache bool, err error)) (data []byte, cached bool, err error) {
+	if data, ok := s.store.Get(key); ok {
+		return data, true, nil
+	}
+	data, _, err = s.fl.do(ctx, key, func() ([]byte, error) {
+		release, err := s.q.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		data, cache, err := fn(context.WithoutCancel(ctx))
+		if err != nil {
+			return nil, err
+		}
+		if cache {
+			if perr := s.store.Put(key, data); perr != nil {
+				s.cfg.Logf("spurd: store put %s: %v", key, perr)
+			}
+		}
+		return data, nil
+	})
+	return data, false, err
+}
+
+// --- /v1/run -----------------------------------------------------------------
+
+// runPayload is the stored (and served) body of one run.
+type runPayload struct {
+	Result  spur.Result      `json:"result"`
+	Failure *spur.RunFailure `json:"failure,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req client.RunRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := expstore.KeyOf(s.cfg.Version, "run", req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, cached, err := s.memoize(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
+		t0 := time.Now()
+		p, err := s.computeRun(req)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cfg.Logf("spurd: run %s computed in %s (failure=%v)", key[:12], time.Since(t0).Round(time.Millisecond), p.Failure != nil)
+		data, err := json.Marshal(p)
+		// Quarantined runs are served but never cached: a deadline
+		// failure is load-dependent, and keeping failures out of the
+		// store means a fixed simulator never replays a stale crash.
+		return data, err == nil && p.Failure == nil, err
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	var p runPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		httpError(w, http.StatusInternalServerError, "corrupt stored run: %v", err)
+		return
+	}
+	writeJSON(w, client.RunResponse{Key: string(key), Cached: cached, Result: p.Result, Failure: p.Failure})
+}
+
+func (s *Server) computeRun(req client.RunRequest) (runPayload, error) {
+	cfg := spur.DefaultConfig()
+	cfg.MemoryBytes = core.MiB(req.MemMB)
+	cfg.CacheBytes = req.CacheKB << 10
+	cfg.TotalRefs = req.Refs
+	cfg.Seed = req.Seed
+	var err error
+	if cfg.Dirty, err = core.ParseDirtyPolicy(req.Dirty); err != nil {
+		return runPayload{}, err
+	}
+	if cfg.Ref, err = core.ParseRefPolicy(req.Ref); err != nil {
+		return runPayload{}, err
+	}
+	cfg.Faults = req.Faults
+
+	var spec spur.Spec
+	switch {
+	case req.Spec != nil:
+		spec = *req.Spec
+	case req.Workload == client.WorkloadW1:
+		spec = spur.Workload1()
+	case req.Workload == client.WorkloadWindow:
+		spec = spur.Window()
+	default:
+		spec = spur.SLC()
+	}
+
+	// Every server-side run goes through the hardened runner: a panicking
+	// configuration must quarantine the run, not kill the daemon.
+	var opts spur.RunOptions
+	if h := req.Hardened; h != nil {
+		opts = spur.RunOptions{
+			AuditEvery: h.AuditEvery,
+			Deadline:   time.Duration(h.DeadlineMS) * time.Millisecond,
+			TraceTail:  h.TraceTail,
+		}
+	}
+	res, fail := spur.RunHardened(cfg, spec, opts)
+	return runPayload{Result: res, Failure: fail}, nil
+}
+
+// --- /v1/sweep ---------------------------------------------------------------
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req client.SweepRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Format is presentation only: both renderings share one stored
+	// result, so it is excluded from the content address.
+	keyReq := req
+	keyReq.Format = ""
+	key, err := expstore.KeyOf(s.cfg.Version, "sweep", keyReq)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, cached, err := s.memoize(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
+		t0 := time.Now()
+		rows, err := s.computeSweep(ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cfg.Logf("spurd: sweep %s (%d rows) computed in %s", key[:12], len(rows), time.Since(t0).Round(time.Millisecond))
+		data, err := json.Marshal(rows)
+		return data, err == nil, err
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	var rows []spur.MemorySweepRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		httpError(w, http.StatusInternalServerError, "corrupt stored sweep: %v", err)
+		return
+	}
+	w.Header().Set("X-Spur-Key", string(key))
+	w.Header().Set("X-Spur-Cached", strconv.FormatBool(cached))
+	switch req.Format {
+	case client.FormatChart:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// One chart per workload in first-seen row order, each followed
+		// by a newline — exactly what the local driver prints.
+		seen := map[core.WorkloadName]bool{}
+		for _, row := range rows {
+			if !seen[row.Workload] {
+				seen[row.Workload] = true
+				fmt.Fprintln(w, spur.MemorySweepChart(rows, row.Workload))
+			}
+		}
+	default:
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, spur.MemorySweepCSV(rows))
+	}
+}
+
+func (s *Server) computeSweep(ctx context.Context, req client.SweepRequest) ([]spur.MemorySweepRow, error) {
+	opts := spur.MemorySweepOptions{
+		SizesMB:    req.SizesMB,
+		Refs:       req.Refs,
+		Seed:       req.Seed,
+		Reps:       req.Reps,
+		AuditEvery: req.AuditEvery,
+		Parallel:   s.cfg.Parallel,
+		Context:    ctx,
+	}
+	for _, name := range req.Workloads {
+		opts.Workloads = append(opts.Workloads, core.WorkloadName(name))
+	}
+	for _, name := range req.Policies {
+		p, err := core.ParseRefPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.Policies = append(opts.Policies, p)
+	}
+	rows := spur.MemorySweep(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// --- /v1/tables/{id} ---------------------------------------------------------
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !client.ValidTableID(id) {
+		httpError(w, http.StatusNotFound, "unknown table %q (valid: %s)", id, strings.Join(client.TableIDs, " "))
+		return
+	}
+	q, err := parseTablesQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := q.Normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := expstore.KeyOf(s.cfg.Version, "tables/"+id, q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, cached, err := s.memoize(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
+		t0 := time.Now()
+		docs, err := s.computeTables(ctx, id, q)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cfg.Logf("spurd: tables/%s %s computed in %s", id, key[:12], time.Since(t0).Round(time.Millisecond))
+		data, err := json.Marshal(docs)
+		return data, err == nil, err
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	// report.Doc and client.Doc share one JSON shape — the single
+	// serialization path `cmd/tables -json` also uses.
+	var docs []client.Doc
+	if err := json.Unmarshal(data, &docs); err != nil {
+		httpError(w, http.StatusInternalServerError, "corrupt stored tables: %v", err)
+		return
+	}
+	writeJSON(w, client.TablesResponse{ID: id, Key: string(key), Cached: cached, Docs: docs})
+}
+
+func parseTablesQuery(r *http.Request) (client.TablesQuery, error) {
+	q := client.TablesQuery{Paper: true}
+	v := r.URL.Query()
+	var err error
+	if s := v.Get("refs"); s != "" {
+		if q.Refs, err = strconv.ParseInt(s, 10, 64); err != nil {
+			return q, fmt.Errorf("bad refs %q", s)
+		}
+	}
+	if s := v.Get("seed"); s != "" {
+		if q.Seed, err = strconv.ParseUint(s, 10, 64); err != nil {
+			return q, fmt.Errorf("bad seed %q", s)
+		}
+	}
+	if s := v.Get("reps"); s != "" {
+		if q.Reps, err = strconv.Atoi(s); err != nil {
+			return q, fmt.Errorf("bad reps %q", s)
+		}
+	}
+	if s := v.Get("paper"); s != "" {
+		if q.Paper, err = strconv.ParseBool(s); err != nil {
+			return q, fmt.Errorf("bad paper %q", s)
+		}
+	}
+	return q, nil
+}
+
+func (s *Server) computeTables(ctx context.Context, id string, q client.TablesQuery) ([]report.Doc, error) {
+	var docs []report.Doc
+	add := func(d report.Doc) { docs = append(docs, d) }
+	switch id {
+	case "2.1":
+		add(spur.Table21().Doc())
+	case "3.1":
+		add(spur.Table31().Doc())
+	case "3.2":
+		add(spur.Table32().Doc())
+	case "f3.1":
+		add(report.TextDoc("Figure 3.1", spur.Figure31()))
+	case "f3.2":
+		add(report.TextDoc("Figure 3.2", spur.Figure32()))
+	case "3.3":
+		rows := spur.Table33(spur.Table33Options{Refs: q.Refs, Seed: q.Seed})
+		add(spur.RenderTable33(rows, q.Paper).Doc())
+	case "3.4":
+		rows := spur.Table33(spur.Table33Options{Refs: q.Refs, Seed: q.Seed})
+		add(spur.Table34(rows).Doc())
+		if q.Paper {
+			add(spur.PaperTable34().Doc())
+		}
+	case "3.5":
+		add(spur.RenderTable35(spur.Table35(q.Seed), q.Paper).Doc())
+	case "4.1":
+		rows := spur.Table41(spur.Table41Options{
+			Refs: q.Refs, Reps: q.Reps, Seed: q.Seed,
+			Parallel: s.cfg.Parallel, Context: ctx,
+		})
+		add(spur.RenderTable41(rows, q.Paper).Doc())
+	case "ext":
+		add(spur.RenderCacheSweep(spur.CacheSweep(spur.CacheSweepOptions{Refs: q.Refs, Seed: q.Seed})).Doc())
+		rows := spur.Table33(spur.Table33Options{Refs: q.Refs, Seed: q.Seed, SizesMB: []int{5}})
+		add(spur.RenderFaultHandlerSweep(spur.FaultHandlerSweep(rows[0].Events)).Doc())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// --- /healthz ----------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, client.Health{
+		Status:  status,
+		Version: s.cfg.Version,
+		Store:   s.store.Stats(),
+		Queue:   s.q.stats(s.fl.deduped.Load()),
+		Uptime:  client.Duration(time.Since(s.start)),
+	})
+}
+
+// --- plumbing ----------------------------------------------------------------
+
+// maxBodyBytes bounds request bodies; inline workload specs fit easily.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing request: %v", err)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeComputeError(w http.ResponseWriter, err error) {
+	var busy busyError
+	switch {
+	case errors.As(err, &busy):
+		w.Header().Set("Retry-After", strconv.Itoa(int(busy.after.Seconds())))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusServiceUnavailable, "request abandoned: %v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

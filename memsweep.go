@@ -44,7 +44,13 @@ type MemorySweepRow struct {
 	Flushes   stats.Summary
 }
 
-// MemorySweepOptions parameterises the sweep.
+// MemorySweepOptions parameterises the memory-size study. The zero value
+// runs the full design: both workloads, all reference-bit policies,
+// 4-16 MB, one repetition, GOMAXPROCS-wide. Results depend only on the
+// experiment knobs (never on Parallel, Progress or scheduling), which is
+// what lets the spurd daemon memoize sweeps by content address — its wire
+// form, repro/pkg/client.SweepRequest, mirrors exactly the result-shaping
+// fields here.
 type MemorySweepOptions struct {
 	// SizesMB defaults to 4..16 MB (the paper sweeps only 5, 6, 8 and
 	// closes with "we are conducting further studies to evaluate ...

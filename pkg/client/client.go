@@ -1,0 +1,258 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a spurd daemon. The zero value is not usable; call New.
+// A Client is safe for concurrent use as long as its fields are not
+// mutated once requests are in flight.
+//
+// Every request is retried on transport errors, 5xx responses, and 429
+// load-shedding (honouring the server's Retry-After hint), with capped
+// exponential backoff and jitter between attempts. Request bodies are
+// replayable byte slices, so retries are safe.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:7421".
+	BaseURL string
+	// HTTPClient defaults to a client with no overall timeout (table runs
+	// take minutes; use per-call contexts to bound waits).
+	HTTPClient *http.Client
+	// Retries is how many attempts beyond the first to make (default 4;
+	// negative disables retrying).
+	Retries int
+	// Backoff is the first retry's delay (default 250 ms), doubling per
+	// attempt up to MaxBackoff (default 5 s). A 429's Retry-After
+	// overrides the schedule when it is longer.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// settings is the effective, default-filled configuration for one request.
+// It is computed per call instead of written back, so one *Client is safe
+// to share across goroutines.
+type settings struct {
+	httpClient *http.Client
+	retries    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+}
+
+var defaultHTTPClient = &http.Client{}
+
+func (c *Client) settings() settings {
+	s := settings{
+		httpClient: c.HTTPClient,
+		retries:    c.Retries,
+		backoff:    c.Backoff,
+		maxBackoff: c.MaxBackoff,
+	}
+	if s.httpClient == nil {
+		s.httpClient = defaultHTTPClient
+	}
+	if s.retries == 0 {
+		s.retries = 4
+	}
+	if s.backoff <= 0 {
+		s.backoff = 250 * time.Millisecond
+	}
+	if s.maxBackoff <= 0 {
+		s.maxBackoff = 5 * time.Second
+	}
+	return s
+}
+
+// Run executes (or fetches, if the daemon has it memoized) one simulator
+// run.
+func (c *Client) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	var resp RunResponse
+	if _, err := c.doJSON(ctx, http.MethodPost, "/v1/run", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep executes the memory-size study and returns the rendered body (CSV
+// by default, charts when req.Format is FormatChart) plus where it came
+// from.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) ([]byte, SweepMeta, error) {
+	body, header, err := c.do(ctx, http.MethodPost, "/v1/sweep", req)
+	if err != nil {
+		return nil, SweepMeta{}, err
+	}
+	cached, _ := strconv.ParseBool(header.Get("X-Spur-Cached"))
+	return body, SweepMeta{Key: header.Get("X-Spur-Key"), Cached: cached}, nil
+}
+
+// Tables fetches one paper artifact by id ("3.3", "4.1", "f3.1", "ext",
+// ...) in the shared Doc serialization.
+func (c *Client) Tables(ctx context.Context, id string, q TablesQuery) (*TablesResponse, error) {
+	v := url.Values{}
+	if q.Refs != 0 {
+		v.Set("refs", strconv.FormatInt(q.Refs, 10))
+	}
+	if q.Seed != 0 {
+		v.Set("seed", strconv.FormatUint(q.Seed, 10))
+	}
+	if q.Reps != 0 {
+		v.Set("reps", strconv.Itoa(q.Reps))
+	}
+	if !q.Paper {
+		v.Set("paper", "false")
+	}
+	path := "/v1/tables/" + url.PathEscape(id)
+	if len(v) > 0 {
+		path += "?" + v.Encode()
+	}
+	var resp TablesResponse
+	if _, err := c.doJSON(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the daemon's /healthz snapshot.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if _, err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// StatusError is a non-2xx response that was not retried away.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("spurd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) (http.Header, error) {
+	body, header, err := c.do(ctx, method, path, in)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return nil, fmt.Errorf("spurd: decoding %s response: %w", path, err)
+	}
+	return header, nil
+}
+
+// do performs one request with the retry/backoff schedule and returns the
+// response body and headers.
+func (c *Client) do(ctx context.Context, method, path string, in any) ([]byte, http.Header, error) {
+	s := c.settings()
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return nil, nil, fmt.Errorf("spurd: encoding %s request: %w", path, err)
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, header, retryable, err := c.once(ctx, s.httpClient, method, path, payload)
+		if err == nil {
+			return body, header, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= s.retries {
+			return nil, nil, lastErr
+		}
+		delay := s.backoff << attempt
+		if delay > s.maxBackoff {
+			delay = s.maxBackoff
+		}
+		// A longer server hint (429 Retry-After) overrides the schedule.
+		var se *StatusError
+		if asStatus(err, &se) && se.Code == http.StatusTooManyRequests {
+			if ra := retryAfter(header); ra > delay {
+				delay = ra
+			}
+		}
+		// Full jitter keeps a fleet of retrying clients from stampeding.
+		delay = time.Duration(float64(delay) * (0.5 + 0.5*rand.Float64()))
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, hc *http.Client, method, path string, payload []byte) (body []byte, header http.Header, retryable bool, err error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		// Transport errors (daemon restarting, connection refused) are
+		// retryable unless the caller's context ended.
+		return nil, nil, ctx.Err() == nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.Header, true, err
+	}
+	if resp.StatusCode/100 == 2 {
+		return body, resp.Header, false, nil
+	}
+	msg := string(body)
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	serr := &StatusError{Code: resp.StatusCode, Message: msg}
+	retryable = resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode/100 == 5
+	return nil, resp.Header, retryable, serr
+}
+
+func asStatus(err error, out **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func retryAfter(h http.Header) time.Duration {
+	if h == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastClient returns a client with a negligible backoff schedule so retry
+// tests run in milliseconds.
+func fastClient(url string) *Client {
+	c := New(url)
+	c.Backoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Millisecond
+	return c
+}
+
+func okRun(w http.ResponseWriter) {
+	json.NewEncoder(w).Encode(RunResponse{Key: "k", Cached: true})
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "busy"})
+			return
+		}
+		okRun(w)
+	}))
+	defer ts.Close()
+	resp, err := fastClient(ts.URL).Run(context.Background(), RunRequest{Refs: 1})
+	if err != nil {
+		t.Fatalf("Run after 429: %v", err)
+	}
+	if !resp.Cached || calls.Load() != 2 {
+		t.Errorf("resp=%+v calls=%d, want cached response on attempt 2", resp, calls.Load())
+	}
+}
+
+func TestRetryOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			http.Error(w, "transient", http.StatusBadGateway)
+			return
+		}
+		okRun(w)
+	}))
+	defer ts.Close()
+	if _, err := fastClient(ts.URL).Run(context.Background(), RunRequest{Refs: 1}); err != nil {
+		t.Fatalf("Run after two 502s: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	// Client errors are deterministic; retrying them only repeats the
+	// mistake. Exactly one attempt, surfaced as a typed StatusError.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "bad refs"})
+	}))
+	defer ts.Close()
+	_, err := fastClient(ts.URL).Run(context.Background(), RunRequest{Refs: 1})
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusBadRequest || se.Message != "bad refs" {
+		t.Fatalf("err = %v, want 400 StatusError with server message", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (no retry on 4xx)", calls.Load())
+	}
+}
+
+func TestNegativeRetriesDisables(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.Retries = -1
+	if _, err := c.Run(context.Background(), RunRequest{Refs: 1}); err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (retries disabled)", calls.Load())
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.Retries = 2
+	_, err := c.Run(context.Background(), RunRequest{Refs: 1})
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 1 + 2 retries", calls.Load())
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.Backoff = time.Hour // the cancel must cut the backoff sleep short
+	c.MaxBackoff = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Run(ctx, RunRequest{Refs: 1}); err == nil {
+		t.Fatal("want error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestConcurrentUseOfSharedClient(t *testing.T) {
+	// One Client, many goroutines: settings are computed per call, never
+	// written back, so this must be race-clean (run with -race).
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okRun(w)
+	}))
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Run(context.Background(), RunRequest{Refs: 1}); err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSweepMetaFromHeaders(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Spur-Key", "abc123")
+		w.Header().Set("X-Spur-Cached", "true")
+		w.Write([]byte("workload,mem_mb\n"))
+	}))
+	defer ts.Close()
+	body, meta, err := fastClient(ts.URL).Sweep(context.Background(), SweepRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "workload,mem_mb\n" || meta.Key != "abc123" || !meta.Cached {
+		t.Errorf("body=%q meta=%+v", body, meta)
+	}
+}

@@ -10,7 +10,12 @@ import (
 	"repro/internal/stats"
 )
 
-// Table41Options parameterises the reference-bit experiment.
+// Table41Options parameterises the reference-bit experiment (Table 4.1).
+// The zero value reproduces the paper's design at default scale with three
+// repetitions. As with MemorySweepOptions, only the experiment knobs shape
+// the result — Parallel, Progress and Context change scheduling, not
+// numbers — so the spurd daemon serves table 4.1 from its result store
+// when the (Refs, Reps, Seed) triple has been computed before.
 type Table41Options struct {
 	// Refs per run; 0 uses the default reference scale.
 	Refs int64

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-test the spurd experiment daemon end to end: start it on a random
+# port, run one experiment twice (the second must be answered from the
+# content-addressed result store without re-simulating), then shut down
+# cleanly with SIGTERM. CI runs this; it also works locally:
+#
+#   ./scripts/smoke_service.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/spurd" ./cmd/spurd
+
+"$workdir/spurd" -addr 127.0.0.1:0 -store "$workdir/store" >"$workdir/log" 2>&1 &
+pid=$!
+
+# The first log line carries the resolved address (we asked for port 0).
+base=""
+for _ in $(seq 1 50); do
+    base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$workdir/log" | head -1)
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "spurd died on startup:"; cat "$workdir/log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "spurd never logged its address:"; cat "$workdir/log"; exit 1; }
+echo "spurd is up at $base"
+
+curl -fsS "$base/healthz" | grep -q '"status": "ok"'
+
+req='{"workload":"slc","refs":200000}'
+
+echo "first run (must be computed)..."
+r1=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/run")
+echo "$r1" | grep -q '"cached": false' || { echo "first run claimed cached: $r1"; exit 1; }
+
+echo "second run (must come from the result store)..."
+r2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/run")
+echo "$r2" | grep -q '"cached": true' || { echo "re-run was not served from the store: $r2"; exit 1; }
+
+# Same request, same content address, same payload.
+key1=$(echo "$r1" | sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p')
+key2=$(echo "$r2" | sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p')
+[ -n "$key1" ] && [ "$key1" = "$key2" ] || { echo "keys differ: $key1 vs $key2"; exit 1; }
+
+# The store counted the hit, and the key landed on disk.
+curl -fsS "$base/healthz" | grep -Eq '"(mem|disk)_hits": [1-9]' \
+    || { echo "store hit not counted:"; curl -fsS "$base/healthz"; exit 1; }
+ls "$workdir/store/${key1:0:2}/$key1.json" >/dev/null
+
+echo "draining with SIGTERM..."
+kill -TERM "$pid"
+wait "$pid" || { echo "spurd exited non-zero:"; cat "$workdir/log"; exit 1; }
+grep -q "drained cleanly" "$workdir/log" || { echo "no clean-drain log line:"; cat "$workdir/log"; exit 1; }
+
+echo "service smoke test passed"

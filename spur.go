@@ -27,6 +27,13 @@ import (
 	"repro/internal/workload"
 )
 
+// Version is the reproduction's code version. The experiment service bakes
+// it into every content address in its result store, so upgrading the
+// simulator invalidates memoized results wholesale instead of serving
+// stale numbers. Bump it whenever a change can alter any experiment's
+// output.
+const Version = "4"
+
 // Config selects machine and experiment parameters; see machine.Config.
 type Config = machine.Config
 
