@@ -1,0 +1,117 @@
+// Command spurlint runs the repo's determinism- and invariant-checking
+// static-analysis suite (see internal/lint and DESIGN.md, "Static analysis
+// & determinism rules").
+//
+// Usage:
+//
+//	go run ./cmd/spurlint ./...
+//	go run ./cmd/spurlint -checks determinism,errcheck ./internal/...
+//
+// Findings print as file:line:col: check: message. The exit status is 1
+// when there are findings, 2 on usage or load errors, 0 on a clean tree.
+// Suppress a finding, with a recorded justification, via a comment on the
+// offending line or the line above:
+//
+//	//spurlint:ignore <check> — <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: spurlint [-checks a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spurlint:", err)
+		os.Exit(2)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spurlint:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spurlint:", err)
+		os.Exit(2)
+	}
+
+	findings := lint.NewRunner(fset, analyzers).Run(pkgs)
+	for _, f := range findings {
+		fmt.Println(relativize(root, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "spurlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(csv string) ([]*lint.Analyzer, error) {
+	if csv == "" {
+		return nil, nil // Runner default: all
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (try -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// moduleRoot finds the nearest enclosing directory with a go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relativize shortens finding paths to be repo-relative for readable output.
+func relativize(root string, f lint.Finding) string {
+	if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}

@@ -101,7 +101,7 @@ func main() {
 			die(err)
 		}
 		spec, err = spur.ReadSpec(f)
-		f.Close()
+		_ = f.Close() // read-only file; Close cannot lose data
 		if err != nil {
 			die(err)
 		}

@@ -62,7 +62,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 			os.Exit(1)
 		}
-		os.Stdout.Write(b)
+		_, _ = os.Stdout.Write(b) // a failed stdout write has nowhere better to go
 		return
 	}
 	for _, d := range docs {

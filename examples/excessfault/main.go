@@ -23,7 +23,7 @@ func main() {
 
 	for _, pol := range spur.DirtyPolicies {
 		cfg := spur.DefaultConfig()
-		cfg.MemoryBytes = 1 << 20
+		cfg.MemoryBytes = spur.MiB(1)
 		cfg.Dirty = pol
 		m := spur.NewMachine(cfg)
 		seg := m.AllocSegment()

@@ -19,7 +19,7 @@ import (
 
 func run(cpus int, pol spur.DirtyPolicy) (nds, stale uint64, busUtil float64) {
 	cfg := spur.DefaultConfig()
-	cfg.MemoryBytes = 32 << 20 // ample memory: isolate the coherence effect
+	cfg.MemoryBytes = spur.MiB(32) // ample memory: isolate the coherence effect
 	cfg.Dirty = pol
 	m := machine.NewMP(cfg, cpus)
 	w := workload.NewSharedWorkload(m, 1, workload.DefaultSharedParams(cpus))

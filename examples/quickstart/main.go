@@ -11,10 +11,10 @@ import (
 
 func main() {
 	cfg := spur.DefaultConfig()
-	cfg.MemoryBytes = 6 << 20  // the paper sweeps 5, 6, 8 MB
-	cfg.TotalRefs = 4_000_000  // a short run; the full scale is 20M
-	cfg.Dirty = spur.DirtySPUR // the prototype's dirty-bit miss scheme
-	cfg.Ref = spur.RefMISS     // the miss-bit approximation
+	cfg.MemoryBytes = spur.MiB(6) // the paper sweeps 5, 6, 8 MB
+	cfg.TotalRefs = 4_000_000     // a short run; the full scale is 20M
+	cfg.Dirty = spur.DirtySPUR    // the prototype's dirty-bit miss scheme
+	cfg.Ref = spur.RefMISS        // the miss-bit approximation
 
 	res := spur.Run(cfg, spur.SLC())
 	ev := res.Events

@@ -44,7 +44,7 @@ type CacheSweepOptions struct {
 // sizes and reports how the miss-bit approximation degrades.
 func CacheSweep(opts CacheSweepOptions) []CacheSweepRow {
 	if len(opts.CacheSizes) == 0 {
-		opts.CacheSizes = []int{32 << 10, 128 << 10, 1 << 20, 8 << 20}
+		opts.CacheSizes = []int{32 << 10, 128 << 10, MiB(1), MiB(8)}
 	}
 	if opts.MemMB == 0 {
 		opts.MemMB = 5

@@ -18,7 +18,7 @@ import (
 // ending with the excess fault the figure is about.
 func Figure31() string {
 	cfg := DefaultConfig()
-	cfg.MemoryBytes = 1 << 20
+	cfg.MemoryBytes = MiB(1)
 	cfg.Dirty = DirtyFAULT
 	m := NewMachine(cfg)
 	seg := m.AllocSegment()

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every declared policy constant must round-trip through String and the
+// parser, case-insensitively: the names are the wire format of the daemon's
+// API and the CLI's flag values.
+
+func TestParseDirtyPolicyRoundTrip(t *testing.T) {
+	for _, p := range AllDirtyPolicies {
+		name := p.String()
+		for _, s := range []string{name, strings.ToLower(name), mixedCase(name)} {
+			got, err := ParseDirtyPolicy(s)
+			if err != nil {
+				t.Errorf("ParseDirtyPolicy(%q): %v", s, err)
+				continue
+			}
+			if got != p {
+				t.Errorf("ParseDirtyPolicy(%q) = %v, want %v", s, got, p)
+			}
+		}
+	}
+}
+
+func TestParseRefPolicyRoundTrip(t *testing.T) {
+	for _, p := range RefPolicies {
+		name := p.String()
+		for _, s := range []string{name, strings.ToLower(name), mixedCase(name)} {
+			got, err := ParseRefPolicy(s)
+			if err != nil {
+				t.Errorf("ParseRefPolicy(%q): %v", s, err)
+				continue
+			}
+			if got != p {
+				t.Errorf("ParseRefPolicy(%q) = %v, want %v", s, got, p)
+			}
+		}
+	}
+}
+
+// mixedCase upper-cases the first letter only ("SPUR" -> "Spur").
+func mixedCase(name string) string {
+	return name[:1] + strings.ToLower(name[1:])
+}
+
+func TestParseDirtyPolicyUnknown(t *testing.T) {
+	for _, s := range []string{"", "bogus", "SPURR", "MI N", "FAULTY", "min ", " spur"} {
+		got, err := ParseDirtyPolicy(s)
+		if err == nil {
+			t.Errorf("ParseDirtyPolicy(%q) = %v, want error", s, got)
+			continue
+		}
+		// The message must quote the rejected input and name the valid
+		// policies, so a typo on the command line is self-correcting.
+		if !strings.Contains(err.Error(), "\""+s+"\"") && !strings.Contains(err.Error(), s) {
+			t.Errorf("ParseDirtyPolicy(%q) error %q does not quote the input", s, err)
+		}
+		for _, want := range []string{"MIN", "FAULT", "FLUSH", "SPUR", "WRITE", "PROT"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseDirtyPolicy(%q) error %q does not offer %s", s, err, want)
+			}
+		}
+	}
+}
+
+func TestParseRefPolicyUnknown(t *testing.T) {
+	for _, s := range []string{"", "bogus", "MISSS", "RE F", "noref "} {
+		got, err := ParseRefPolicy(s)
+		if err == nil {
+			t.Errorf("ParseRefPolicy(%q) = %v, want error", s, got)
+			continue
+		}
+		for _, want := range []string{"MISS", "REF", "NOREF"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseRefPolicy(%q) error %q does not offer %s", s, err, want)
+			}
+		}
+	}
+}
+
+func TestPolicyStringUnknownValue(t *testing.T) {
+	if got := DirtyPolicy(200).String(); got != "DirtyPolicy(200)" {
+		t.Errorf("DirtyPolicy(200).String() = %q", got)
+	}
+	if got := RefPolicy(200).String(); got != "RefPolicy(200)" {
+		t.Errorf("RefPolicy(200).String() = %q", got)
+	}
+	// The fallback names must not parse back: they are diagnostics, not
+	// policies.
+	if _, err := ParseDirtyPolicy("DirtyPolicy(200)"); err == nil {
+		t.Error("ParseDirtyPolicy accepted the fallback String form")
+	}
+	if _, err := ParseRefPolicy("RefPolicy(200)"); err == nil {
+		t.Error("ParseRefPolicy accepted the fallback String form")
+	}
+}
+
+// TestPolicyNamesDistinct guards the parser's precondition: every declared
+// constant has a distinct, non-fallback name.
+func TestPolicyNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range AllDirtyPolicies {
+		name := p.String()
+		if strings.HasPrefix(name, "DirtyPolicy(") {
+			t.Errorf("policy %d has no real name", uint8(p))
+		}
+		if seen[name] {
+			t.Errorf("duplicate policy name %q", name)
+		}
+		seen[name] = true
+	}
+	for _, p := range RefPolicies {
+		name := p.String()
+		if strings.HasPrefix(name, "RefPolicy(") {
+			t.Errorf("ref policy %d has no real name", uint8(p))
+		}
+		if seen[name] {
+			t.Errorf("duplicate policy name %q", name)
+		}
+		seen[name] = true
+	}
+}

@@ -144,7 +144,8 @@ func (s *Set) Add(e Event, n uint64) {
 	s.shadow[e] += n
 	for i, ev := range modeMap[s.mode] {
 		if ev == e {
-			s.hw[i] += uint32(n) // 32-bit wraparound, as on the chip
+			//spurlint:ignore countersafe — the hardware counters are 32-bit by design; wraparound here is the modeled chip behavior the shadow counters exist to repair
+			s.hw[i] += uint32(n)
 		}
 	}
 }

@@ -90,12 +90,16 @@ type Options struct {
 	MaxBytes int
 }
 
+// defaultMaxBytes caps the LRU front's payload (a compile-time constant, so
+// the untyped arithmetic is range-checked by the compiler).
+const defaultMaxBytes = 256 << 20
+
 func (o Options) fill() Options {
 	if o.MaxEntries == 0 {
 		o.MaxEntries = 512
 	}
 	if o.MaxBytes == 0 {
-		o.MaxBytes = 256 << 20
+		o.MaxBytes = defaultMaxBytes
 	}
 	return o
 }
@@ -194,18 +198,18 @@ func (s *Store) Put(k Key, data []byte) error {
 				return fmt.Errorf("expstore: put %s: %w", k, err)
 			}
 			if _, werr := tmp.Write(data); werr != nil {
-				tmp.Close()
-				os.Remove(tmp.Name())
+				_ = tmp.Close() // already failing; best-effort cleanup
+				_ = os.Remove(tmp.Name())
 				return fmt.Errorf("expstore: put %s: %w", k, werr)
 			}
 			if cerr := tmp.Close(); cerr != nil {
-				os.Remove(tmp.Name())
+				_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
 				return fmt.Errorf("expstore: put %s: %w", k, cerr)
 			}
 			// First rename wins; a concurrent writer's rename of
 			// identical bytes over ours is equally fine.
 			if rerr := os.Rename(tmp.Name(), path); rerr != nil {
-				os.Remove(tmp.Name())
+				_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
 				return fmt.Errorf("expstore: put %s: %w", k, rerr)
 			}
 		}
@@ -273,7 +277,9 @@ func (s *Store) Len() int {
 		return 0
 	}
 	n := 0
-	filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+	// The walk callback never returns an error, and unreadable entries are
+	// simply not counted — acceptable for a diagnostic.
+	_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
 		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
 			n++
 		}

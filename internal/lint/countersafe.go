@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// CounterSafeAnalyzer guards the two arithmetic traps that have already
+// bitten this codebase once (PR 2's `mb << 20` overflow):
+//
+//  1. Size arithmetic written as `x << 20` in runtime integer context.
+//     On a 32-bit int, 2048 << 20 is zero; core.MiB does the math in 64
+//     bits and range-checks the result, so all mebibyte-scale sizes must
+//     go through it. Shifts whose result is an explicitly 64-bit type are
+//     fine; so are shifts inside constant declarations (the compiler
+//     range-checks untyped constant arithmetic exactly).
+//
+//  2. Conversions that silently truncate a 64-bit cycle/page/byte counter
+//     to 32 bits or less in model code. Intentional wraparound (the
+//     hardware counters are 32-bit by design) takes an ignore directive;
+//     a conversion immediately masked to the target width is provably
+//     lossy-by-intent and passes.
+var CounterSafeAnalyzer = &Analyzer{
+	Name: "countersafe",
+	Doc:  "size math must use core.MiB; no silent 32-bit truncation of 64-bit counters",
+	Run:  runCounterSafe,
+}
+
+// sizeShift is the smallest shift treated as size arithmetic (1 << 20 = MiB).
+const sizeShift = 20
+
+func runCounterSafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		walkWithParents(f, func(n ast.Node, parents []ast.Node) {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				p.checkSizeShift(n, parents)
+			case *ast.CallExpr:
+				if p.InModelScope() {
+					p.checkTruncation(n, parents)
+				}
+			}
+		})
+	}
+}
+
+func (p *Pass) checkSizeShift(be *ast.BinaryExpr, parents []ast.Node) {
+	if be.Op != token.SHL {
+		return
+	}
+	rhs, ok := p.Pkg.Info.Types[be.Y]
+	if !ok || rhs.Value == nil {
+		return
+	}
+	shift, exact := constant.Int64Val(constant.ToInt(rhs.Value))
+	if !exact || shift < sizeShift {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[be]
+	if !ok {
+		return
+	}
+	if tv.Value != nil {
+		// Constant shift: the compiler evaluates it in arbitrary
+		// precision and rejects overflow, so inside a const declaration
+		// it is exactly safe. Outside one, an integer-context literal
+		// like `cfg.MemoryBytes = 8 << 20` is the idiom the MiB helper
+		// replaces — keep all byte-size math in one audited place. Only
+		// a literal 20 or 30 shift is a size unit: `1 << 24` flips a
+		// tag bit and `1 << addr.SegmentShift` is address geometry, and
+		// neither should launder through MiB.
+		if insideConstDecl(parents) {
+			return
+		}
+		if lit, isLit := unparen(be.Y).(*ast.BasicLit); !isLit || (lit.Value != "20" && lit.Value != "30") {
+			return
+		}
+		if !isIntish(tv.Type) {
+			return
+		}
+		p.Reportf(be, "size literal `%s`: write core.MiB(n) (spur.MiB in examples) so every byte-size computation is 64-bit and range-checked", render(be))
+		return
+	}
+	// Runtime shift: `mb << 20` silently overflows 32-bit ints.
+	if is64BitInt(tv.Type) {
+		return
+	}
+	p.Reportf(be, "runtime size shift `%s` evaluates in %s and can overflow on 32-bit ints (2048<<20 == 0); use core.MiB", render(be), tv.Type)
+}
+
+func (p *Pass) checkTruncation(call *ast.CallExpr, parents []ast.Node) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isNarrowInt(tv.Type) {
+		return
+	}
+	arg, ok := p.Pkg.Info.Types[call.Args[0]]
+	if !ok || arg.Value != nil {
+		return
+	}
+	switch basicKind(arg.Type) {
+	case types.Int, types.Int64, types.Uint64, types.Uint, types.Uintptr:
+	default:
+		return
+	}
+	if maskedToWidth(p, call, parents, tv.Type) {
+		return
+	}
+	p.Reportf(call, "conversion %s(%s) truncates a %s to %s; widen the destination, or annotate the intentional wraparound with //spurlint:ignore countersafe — <reason>",
+		tv.Type, render(call.Args[0]), arg.Type, tv.Type)
+}
+
+// maskedToWidth reports whether the conversion's result is immediately ANDed
+// with a constant that fits the target width — the explicit
+// "keep the low bits" idiom (uint32(g) & SegmentMask), which cannot lose
+// information the author did not name.
+func maskedToWidth(p *Pass, call *ast.CallExpr, parents []ast.Node, target types.Type) bool {
+	for i := len(parents) - 1; i >= 0; i-- {
+		switch parent := parents[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.BinaryExpr:
+			if parent.Op != token.AND {
+				return false
+			}
+			other := parent.X
+			if other == call || contains(other, call) {
+				other = parent.Y
+			}
+			tv, ok := p.Pkg.Info.Types[other]
+			return ok && tv.Value != nil
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func contains(outer ast.Node, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+// insideConstDecl reports whether the node sits in a `const` declaration.
+func insideConstDecl(parents []ast.Node) bool {
+	for _, n := range parents {
+		if gd, ok := n.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithParents traverses the AST depth-first, handing each node the stack
+// of its ancestors (outermost first).
+func walkWithParents(root ast.Node, fn func(n ast.Node, parents []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

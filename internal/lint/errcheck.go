@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckAnalyzer forbids discarding an error return by calling a function
+// as a bare statement. A hardened runner that swallows a bundle-write error
+// or a server that drops an encode error reports success for work that never
+// happened; every error is either handled or explicitly assigned to `_`
+// (which at least names the decision at the call site).
+//
+// Allowed without comment, because they cannot fail meaningfully here:
+//   - fmt.Print/Printf/Println, and fmt.Fprint* to os.Stdout/os.Stderr
+//     (CLI chatter; the process has nowhere to report a stdout write error)
+//   - methods on strings.Builder and bytes.Buffer (documented never to
+//     return a non-nil error)
+var ErrcheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc:  "no discarded error returns in non-test code",
+	Run:  runErrcheck,
+}
+
+func runErrcheck(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !p.returnsError(call) || p.errcheckExempt(call) {
+				return true
+			}
+			p.Reportf(call, "result of %s includes an error that is discarded; handle it or assign it to _ explicitly", callName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func (p *Pass) returnsError(call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errIface) {
+				return true
+			}
+		}
+	default:
+		return tv.Type != nil && types.Identical(tv.Type, errIface)
+	}
+	return false
+}
+
+func (p *Pass) errcheckExempt(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+
+	if recv := sig.Recv(); recv != nil {
+		return infallibleWriter(recv.Type())
+	}
+
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	if strings.HasPrefix(fn.Name(), "Print") {
+		return true
+	}
+	if strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		dst := unparen(call.Args[0])
+		if infallibleWriter(p.TypeOf(dst)) {
+			return true
+		}
+		if sel, isSel := dst.(*ast.SelectorExpr); isSel {
+			if v, isVar := p.ObjectOf(sel.Sel).(*types.Var); isVar && v.Pkg() != nil &&
+				v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether t is (a pointer to) a writer documented
+// never to return a non-nil error: strings.Builder and bytes.Buffer.
+func infallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}

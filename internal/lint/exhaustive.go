@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+// PolicyExhaustiveAnalyzer requires every switch on core.DirtyPolicy or
+// core.RefPolicy to either cover all declared constants of the type or fail
+// loudly (panic / error / exit) in its default clause. The constant set is
+// discovered from the type's package scope at analysis time, so declaring a
+// sixth dirty policy instantly makes every silent switch a finding — the
+// paper's per-policy cost models (Table 3.1 / Table 4.1) are meaningless for
+// a policy that silently falls through.
+var PolicyExhaustiveAnalyzer = &Analyzer{
+	Name: "policyexhaustive",
+	Doc:  "switches on core policy enums must cover every constant or fail loudly in default",
+	Run:  runPolicyExhaustive,
+}
+
+// policyEnumTypes names the enum types the check governs, by defining
+// package path and type name.
+var policyEnumTypes = map[[2]string]bool{
+	{"repro/internal/core", "DirtyPolicy"}: true,
+	{"repro/internal/core", "RefPolicy"}:   true,
+}
+
+func runPolicyExhaustive(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named := policyEnum(p.TypeOf(sw.Tag))
+			if named == nil {
+				return true
+			}
+			p.checkSwitch(sw, named)
+			return true
+		})
+	}
+}
+
+// policyEnum returns t as a governed named enum type, or nil.
+func policyEnum(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	key := [2]string{named.Obj().Pkg().Path(), named.Obj().Name()}
+	if !policyEnumTypes[key] {
+		return nil
+	}
+	return named
+}
+
+// enumConstants lists every package-level constant of the enum's type,
+// sorted by value, from the defining package's scope. This is the same
+// constant list core.ParseDirtyPolicy/ParseRefPolicy round-trip.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		vi, _ := constant.Int64Val(consts[i].Val())
+		vj, _ := constant.Int64Val(consts[j].Val())
+		return vi < vj
+	})
+	return consts
+}
+
+func (p *Pass) checkSwitch(sw *ast.SwitchStmt, named *types.Named) {
+	covered := map[int64]bool{}
+	var deflt *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			deflt = cc
+			continue
+		}
+		for _, e := range cc.List {
+			tv, ok := p.Pkg.Info.Types[e]
+			if !ok || tv.Value == nil {
+				// A non-constant case expression defeats static
+				// exhaustiveness; require a loud default instead.
+				continue
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				covered[v] = true
+			}
+		}
+	}
+
+	if deflt != nil && p.loudDefault(deflt) {
+		return
+	}
+
+	var missing []string
+	for _, c := range enumConstants(named) {
+		v, _ := constant.Int64Val(c.Val())
+		if !covered[v] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	what := "add the missing cases or a default that panics/returns an error"
+	if deflt != nil {
+		what = "the default silently swallows them; make it panic or return an error"
+	}
+	p.Reportf(sw, "switch on %s.%s misses %s — %s, so a new policy cannot silently fall through",
+		named.Obj().Pkg().Name(), named.Obj().Name(), describeList(missing), what)
+}
+
+// loudDefault reports whether the default clause fails loudly: it panics,
+// exits, or returns a non-nil error.
+func (p *Pass) loudDefault(cc *ast.CaseClause) bool {
+	loud := false
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := p.Pkg.Info.ObjectOf(id).(*types.Builtin); isBuiltin {
+						loud = true
+					}
+				}
+				for _, path := range []string{"os", "log"} {
+					if fn := funcIn(p.Pkg.Info, n.Fun, path); fn != nil {
+						switch fn.Name() {
+						case "Exit", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+							loud = true
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					t := p.TypeOf(res)
+					if t == nil {
+						continue
+					}
+					if id, isNil := res.(*ast.Ident); isNil && id.Name == "nil" {
+						continue
+					}
+					if types.Implements(t, errIface) || types.AssignableTo(t, errIface.Underlying()) {
+						loud = true
+					}
+				}
+			}
+			return !loud
+		})
+		if loud {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoConfineAnalyzer confines `go` statements to the packages that are
+// allowed to own concurrency. The simulator's determinism contract is that
+// every model computation is single-threaded and scheduled explicitly; all
+// parallelism is funneled through internal/parallel's worker pool (which
+// reassembles results by coordinate, not completion order), the HTTP
+// server, the client's async helpers, and command main loops. A goroutine
+// anywhere else is either a data race or a nondeterminism source waiting to
+// be found by a slower tool.
+var GoConfineAnalyzer = &Analyzer{
+	Name: "goconfine",
+	Doc:  "`go` statements only in the packages that own concurrency",
+	Run:  runGoConfine,
+}
+
+// concurrencyPackages may spawn goroutines. cmd/* may too: a main package
+// wiring signal handling or servers together is scheduler code by nature.
+var concurrencyPackages = map[string]bool{
+	"repro/internal/parallel": true,
+	"repro/internal/server":   true,
+	"repro/pkg/client":        true,
+}
+
+func runGoConfine(p *Pass) {
+	if concurrencyPackages[p.Pkg.Path] || strings.HasPrefix(p.Pkg.Path, "repro/cmd/") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g, "goroutine spawned outside the concurrency packages (internal/parallel, internal/server, pkg/client, cmd/*); route parallel work through parallel.Run so results stay deterministic")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The suppression directive. A finding is suppressed by
+//
+//	//spurlint:ignore <check> — <reason>
+//
+// placed either on the offending line (trailing comment) or on the line
+// directly above it. <check> must name an analyzer and <reason> must be
+// non-empty: a suppression is a recorded engineering decision, not an
+// escape hatch. The separator may be "—", "--" or "-", or just whitespace.
+const ignorePrefix = "spurlint:ignore"
+
+type directive struct {
+	pos    token.Position
+	check  string
+	reason string
+	used   bool
+}
+
+type ignoreIndex struct {
+	// byLine maps source line -> directives declared on that line.
+	byLine    map[string]map[int][]*directive
+	malformed []Finding
+}
+
+// collectIgnores scans every comment in the files for spurlint directives.
+// Malformed ones (unknown check, missing reason) become findings.
+func collectIgnores(fset *token.FileSet, files []*ast.File, valid map[string]bool) *ignoreIndex {
+	idx := &ignoreIndex{byLine: map[string]map[int][]*directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d, err := parseIgnore(text, valid)
+				if err != nil {
+					idx.malformed = append(idx.malformed, Finding{
+						Pos:   pos,
+						Check: "directive",
+						Msg:   err.Error(),
+					})
+					continue
+				}
+				d.pos = pos
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*directive{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+func parseIgnore(rest string, valid map[string]bool) (*directive, error) {
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("spurlint:ignore needs a check name and a reason: //spurlint:ignore <check> — <reason>")
+	}
+	check := fields[0]
+	if !valid[check] {
+		known := make([]string, 0, len(valid))
+		for k := range valid {
+			known = append(known, k)
+		}
+		return nil, fmt.Errorf("spurlint:ignore of unknown check %q (analyzers: %s)", check, describeList(sortStrings(known)))
+	}
+	reason := strings.TrimSpace(rest[len(check):])
+	for _, sep := range []string{"—", "--", "-"} {
+		if r, ok := strings.CutPrefix(reason, sep); ok {
+			reason = strings.TrimSpace(r)
+			break
+		}
+	}
+	if reason == "" {
+		return nil, fmt.Errorf("spurlint:ignore %s has no reason: a suppression must record why the finding is safe", check)
+	}
+	return &directive{check: check, reason: reason}, nil
+}
+
+// suppress reports whether a finding at pos for check is covered by a
+// directive on the same line or the line above, marking it used.
+func (idx *ignoreIndex) suppress(pos token.Position, check string) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.check == check {
+				d.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unused returns well-formed directives that suppressed nothing, restricted
+// to the checks that actually ran (a directive for an analyzer excluded from
+// this run may still be load-bearing).
+func (idx *ignoreIndex) unused(ran []*Analyzer) []*directive {
+	active := map[string]bool{}
+	for _, a := range ran {
+		active[a.Name] = true
+	}
+	var out []*directive
+	for _, lines := range idx.byLine {
+		for _, ds := range lines {
+			for _, d := range ds {
+				if !d.used && active[d.check] {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortStrings(s []string) []string {
+	sort.Strings(s)
+	return s
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file harness. Every file in testdata is one fixture package,
+// type-checked under the import path its first line names:
+//
+//	//spurlint:path repro/internal/cache
+//
+// so scope rules (model package? concurrency package?) apply exactly as they
+// do to real code. Expected findings are `// want <check> "substring"`
+// comments: trailing on the offending line, or standalone on the line(s)
+// above, in which case the expectation applies to the next line carrying
+// code or a spurlint directive. Unexpected findings and unmatched wants both
+// fail the fixture.
+
+var (
+	wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]*)"`)
+	pathRe = regexp.MustCompile(`(?m)^//spurlint:path (\S+)`)
+)
+
+type expect struct {
+	line    int
+	check   string
+	substr  string
+	matched bool
+}
+
+func TestFixtures(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := NewImporter(fset)
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no fixtures under testdata")
+	}
+	for _, fixture := range fixtures {
+		t.Run(filepath.Base(fixture), func(t *testing.T) {
+			src, err := os.ReadFile(fixture)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := pathRe.FindSubmatch(src)
+			if m == nil {
+				t.Fatalf("%s: missing //spurlint:path header", fixture)
+			}
+			path := string(m[1])
+
+			f, err := parser.ParseFile(fset, fixture, src, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			typesPkg, info, err := Check(fset, imp, path, []*ast.File{f})
+			if err != nil {
+				t.Fatalf("type-checking fixture: %v", err)
+			}
+			pkg := &Package{Path: path, Dir: "testdata", Files: []*ast.File{f}, Info: info, Types: typesPkg}
+
+			findings := NewRunner(fset, nil).Run([]*Package{pkg})
+			wants := parseWants(string(src))
+			for _, fd := range findings {
+				if !claim(wants, fd) {
+					t.Errorf("unexpected finding: %s", fd)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("missing finding: want %s %q at %s:%d", w.check, w.substr, fixture, w.line)
+				}
+			}
+		})
+	}
+}
+
+// parseWants extracts the expectations from fixture source.
+func parseWants(src string) []*expect {
+	lines := strings.Split(src, "\n")
+	var wants []*expect
+	for i, line := range lines {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		target := i + 1 // 1-based: the want's own line
+		if code := strings.TrimSpace(line[:strings.Index(line, "//")]); code == "" {
+			// Standalone comment: the expectation applies to the next
+			// line carrying code or a spurlint directive (directive
+			// findings sit on the directive's own line).
+			for j := i + 1; j < len(lines); j++ {
+				s := strings.TrimSpace(lines[j])
+				if s == "" {
+					continue
+				}
+				if strings.HasPrefix(s, "//") && !strings.Contains(s, "spurlint:") {
+					continue
+				}
+				target = j + 1
+				break
+			}
+		}
+		wants = append(wants, &expect{line: target, check: m[1], substr: m[2]})
+	}
+	return wants
+}
+
+// claim marks the first unmatched expectation the finding satisfies.
+func claim(wants []*expect, f Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.line == f.Pos.Line && w.check == f.Check && strings.Contains(f.Msg, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// TestRepoClean runs the suite over the whole module and requires zero
+// findings: the tree must lint clean at all times, with every deviation
+// either fixed or carrying a justified ignore directive. The source importer
+// type-checks the full dependency graph, so this is the slow test; -short
+// skips it.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type check is slow")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := Load(fset, filepath.Join("..", ".."), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range NewRunner(fset, nil).Run(pkgs) {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit of analysis.
+type Package struct {
+	// Path is the import path ("repro/internal/core"). Scope decisions
+	// (model package? concurrency allowed?) key off it.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Info carries the go/types facts for Files.
+	Info *types.Info
+	// Types is the checked package object.
+	Types *types.Package
+
+	ignores *ignoreIndex
+}
+
+// Load parses and type-checks the non-test sources of every package matched
+// by patterns ("./..." or directory paths), rooted at the module directory
+// root. Test files and testdata directories are excluded: the checks govern
+// production code, and tests legitimately use clocks, goroutines and
+// unordered iteration.
+func Load(fset *token.FileSet, root string, patterns []string) ([]*Package, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// The source importer type-checks dependencies (stdlib and repo
+	// packages alike) from source, so the suite needs no export data and
+	// no dependencies beyond the standard library. It caches by path, so
+	// shared dependencies are checked once.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, module, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// modulePath reads the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// expandPatterns resolves the command-line patterns to package directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(root, pat)
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lint: walking %s: %w", base, err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir parses and checks one directory; returns nil if it holds no
+// non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, module, root, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := module
+	if rel != "." {
+		path = module + "/" + filepath.ToSlash(rel)
+	}
+
+	pkg, info, err := Check(fset, imp, path, files)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Info: info, Types: pkg}, nil
+}
+
+// Check type-checks a set of parsed files as package path, resolving imports
+// through imp. It is exported for the golden-file test harness, which checks
+// fixture files under synthetic import paths.
+func Check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return pkg, info, nil
+}
+
+// NewImporter returns the shared source importer used by Load, for callers
+// (the test harness) that drive Check directly.
+func NewImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}

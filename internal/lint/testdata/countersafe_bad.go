@@ -1,0 +1,22 @@
+//spurlint:path repro/internal/cache
+
+// Positive counter-safety fixtures: raw size arithmetic and silent
+// truncation of wide counters.
+package fixture
+
+// PoolBytes computes a byte size with a runtime shift; on a 32-bit int,
+// 2048 << 20 is zero.
+func PoolBytes(mb int) int {
+	return mb << 20 // want countersafe "runtime size shift"
+}
+
+// DefaultBytes writes a size literal outside a const declaration instead of
+// going through the audited helper.
+func DefaultBytes() int {
+	return 6 << 20 // want countersafe "size literal"
+}
+
+// Squeeze narrows a 64-bit cycle counter without a mask or a directive.
+func Squeeze(cycles uint64) uint32 {
+	return uint32(cycles) // want countersafe "truncates a uint64"
+}

@@ -1,0 +1,38 @@
+//spurlint:path repro/internal/cache
+
+// Negative counter-safety fixtures: the approved forms of size math and
+// narrowing.
+package fixture
+
+import "repro/internal/core"
+
+// maxBlob sits in a const declaration: the compiler evaluates untyped
+// constant arithmetic in arbitrary precision and rejects overflow.
+const maxBlob = 256 << 20
+
+// PoolBytes routes size math through the audited helper.
+func PoolBytes(mb int) int {
+	return core.MiB(mb)
+}
+
+// TagFlip is bit geometry, not a byte size: only literal 20/30 shifts are
+// size units.
+func TagFlip(tag int) int {
+	return tag ^ 1<<24
+}
+
+// Wide keeps the runtime shift in 64 bits, where mebibyte-scale sizes
+// cannot overflow.
+func Wide(mb int) uint64 {
+	return uint64(mb) << 20
+}
+
+// Low16 masks the conversion to the named width; nothing unnamed is lost.
+func Low16(cycles uint64) uint32 {
+	return uint32(cycles) & 0xFFFF
+}
+
+// Wrap models hardware wraparound and records that decision.
+func Wrap(cycles uint64) uint32 {
+	return uint32(cycles) //spurlint:ignore countersafe — fixture: modeled 32-bit hardware counter wraparound
+}

@@ -1,0 +1,46 @@
+//spurlint:path repro/internal/cache
+
+// Positive determinism fixtures: wall-clock reads, global and cryptographic
+// randomness, and order-sensitive map iteration inside a model package.
+package fixture
+
+import (
+	crand "crypto/rand" // want determinism "crypto/rand is nondeterministic"
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock, so two replays of the same spec differ.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now reads the wall clock"
+}
+
+// Roll draws from the process-global RNG stream.
+func Roll() int {
+	return rand.Intn(6) // want determinism "global rand.Intn shares"
+}
+
+// Noise exists only so the crypto/rand import is used; the import itself is
+// the finding.
+func Noise(b []byte) error {
+	_, err := crand.Read(b)
+	return err
+}
+
+// Keys collects map keys and never sorts them, so callers see them in the
+// runtime's randomized order.
+func Keys(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want determinism "map iteration order is randomized"
+	}
+	return keys
+}
+
+// First leaks which entry the runtime happened to visit first.
+func First(m map[string]int) string {
+	for k := range m {
+		return k // want determinism "map iteration order is randomized"
+	}
+	return ""
+}

@@ -1,0 +1,46 @@
+//spurlint:path repro/internal/cache
+
+// Negative determinism fixtures: the approved idioms pass unflagged.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Roll draws from an explicitly seeded generator; constructors are fine.
+func Roll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// SortedKeys is the canonical sorted-iteration idiom: collect, sort, walk.
+func SortedKeys(m map[int]string) []string {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Drain deletes every key of m from other; deletion commutes, so iteration
+// order cannot matter.
+func Drain(m, other map[int]bool) {
+	for k := range m {
+		delete(other, k)
+	}
+}
+
+// Last is order-sensitive but carries a justified suppression, which is the
+// sanctioned escape hatch.
+func Last(m map[int]bool) int {
+	last := 0
+	for k := range m {
+		last = k //spurlint:ignore determinism — fixture: exercising the suppression path itself
+	}
+	return last
+}

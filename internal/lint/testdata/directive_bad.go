@@ -1,0 +1,28 @@
+//spurlint:path repro/internal/fixture
+
+// Directive-hygiene fixtures: malformed and unused suppressions are
+// themselves findings, so ignores cannot rot silently.
+package fixture
+
+import "os"
+
+// Unknown names a check that does not exist, so it suppresses nothing and
+// the underlying errcheck finding still fires.
+func Unknown(path string) {
+	// want directive "unknown check"
+	// want errcheck "result of os.Remove"
+	os.Remove(path) //spurlint:ignore nosuchcheck - because
+}
+
+// NoReason gives no justification, which is also malformed.
+func NoReason(path string) {
+	// want directive "has no reason"
+	// want errcheck "result of os.Remove"
+	os.Remove(path) //spurlint:ignore errcheck
+}
+
+// Unused is well-formed but suppresses nothing.
+// want directive "unused ignore directive"
+//
+//spurlint:ignore errcheck — fixture: nothing on the next line can fail
+func Unused() {}

@@ -1,0 +1,11 @@
+//spurlint:path repro/internal/fixture
+
+// Positive errcheck fixture: a discarded error return.
+package fixture
+
+import "os"
+
+// Scrub drops the error from os.Remove on the floor.
+func Scrub(path string) {
+	os.Remove(path) // want errcheck "result of os.Remove"
+}

@@ -1,0 +1,37 @@
+//spurlint:path repro/internal/fixture
+
+// Negative errcheck fixtures: handled errors, named discards and the exempt
+// print family and infallible writers.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Scrub handles the error.
+func Scrub(path string) error {
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("scrub: %w", err)
+	}
+	return nil
+}
+
+// Best names the discard explicitly, which is allowed: the decision is
+// visible at the call site.
+func Best(path string) {
+	_ = os.Remove(path)
+}
+
+// Chatter uses the exempt print family and infallible writers.
+func Chatter(rows []string) string {
+	fmt.Println("rows:", len(rows))
+	fmt.Fprintln(os.Stderr, "rows:", len(rows))
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintln(&b, r)
+	}
+	b.WriteString("done")
+	return b.String()
+}

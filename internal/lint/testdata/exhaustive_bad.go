@@ -1,0 +1,39 @@
+//spurlint:path repro/internal/fixture
+
+// Positive exhaustiveness fixtures: switches on the policy enums that let a
+// newly declared policy fall through silently.
+package fixture
+
+import "repro/internal/core"
+
+// Short misses four of the six dirty policies with no default at all.
+func Short(p core.DirtyPolicy) string {
+	switch p { // want policyexhaustive "misses"
+	case core.DirtyFAULT:
+		return "fault"
+	case core.DirtyFLUSH:
+		return "flush"
+	}
+	return "?"
+}
+
+// Swallow covers five policies and silently swallows DirtyPROT in default.
+func Swallow(p core.DirtyPolicy) string {
+	switch p { // want policyexhaustive "default silently swallows"
+	case core.DirtyMIN, core.DirtyFAULT, core.DirtyFLUSH, core.DirtySPUR, core.DirtyWRITE:
+		return "known"
+	default:
+		return "?"
+	}
+}
+
+// RefShort misses RefNONE.
+func RefShort(p core.RefPolicy) string {
+	switch p { // want policyexhaustive "misses RefNONE"
+	case core.RefMISS:
+		return "miss"
+	case core.RefTRUE:
+		return "ref"
+	}
+	return "?"
+}

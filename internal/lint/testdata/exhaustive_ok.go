@@ -1,0 +1,51 @@
+//spurlint:path repro/internal/fixture
+
+// Negative exhaustiveness fixtures: full coverage, or defaults that fail
+// loudly.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Full covers every declared dirty policy; no default needed.
+func Full(p core.DirtyPolicy) string {
+	switch p {
+	case core.DirtyMIN:
+		return "min"
+	case core.DirtyFAULT:
+		return "fault"
+	case core.DirtyFLUSH:
+		return "flush"
+	case core.DirtySPUR:
+		return "spur"
+	case core.DirtyWRITE:
+		return "write"
+	case core.DirtyPROT:
+		return "prot"
+	}
+	return "?"
+}
+
+// Loud misses policies but its default panics, which is the other accepted
+// shape: a new policy cannot fall through unnoticed.
+func Loud(p core.DirtyPolicy) string {
+	switch p {
+	case core.DirtySPUR:
+		return "spur"
+	default:
+		panic(fmt.Sprintf("unhandled policy %v", p))
+	}
+}
+
+// Erring returns a non-nil error from default, the third accepted shape.
+func Erring(p core.RefPolicy) (string, error) {
+	switch p {
+	case core.RefMISS:
+		return "miss", nil
+	default:
+		return "", fmt.Errorf("unhandled ref policy %v", p)
+	}
+}

@@ -1,0 +1,10 @@
+//spurlint:path repro/internal/report
+
+// Positive goroutine-confinement fixture: a goroutine outside the packages
+// that own concurrency.
+package fixture
+
+// Spawn launches work outside internal/parallel's pool.
+func Spawn(f func()) {
+	go f() // want goconfine "goroutine spawned outside"
+}

@@ -1,0 +1,15 @@
+//spurlint:path repro/internal/parallel
+
+// Negative goroutine-confinement fixture: internal/parallel owns the worker
+// pool, so goroutines are its business.
+package fixture
+
+// Spawn is allowed here.
+func Spawn(f func()) {
+	done := make(chan struct{})
+	go func() {
+		f()
+		close(done)
+	}()
+	<-done
+}

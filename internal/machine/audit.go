@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
 	"repro/internal/cache"
@@ -56,7 +57,16 @@ func AuditMP(m *MP) error {
 			}
 		}
 	}
-	for b, h := range blocks {
+	// Check in ascending block order so a multi-violation machine reports
+	// the same first breach on every run — failure artifacts are diffed
+	// and deduplicated, so the report must be as deterministic as the run.
+	addrs := make([]addr.BlockAddr, 0, len(blocks))
+	for b := range blocks {
+		addrs = append(addrs, b)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, b := range addrs {
+		h := blocks[b]
 		if h.owners > 1 {
 			return fmt.Errorf("block %#x has %d owners", uint64(b), h.owners)
 		}

@@ -231,9 +231,16 @@ func (m *Machine) failure(kind FailureKind, reason string, stack string, tail *t
 func (m *Machine) RunHardened(src trace.Source, n int64, opts RunOptions) (Result, *RunFailure) {
 	tail := newTailBuffer(opts.TraceTail)
 	auditor := m.Auditor(opts.AuditEvery)
+	// The deadline reads the wall clock, which is normally banned in model
+	// code: simulated results must be a pure function of the spec. It is
+	// safe here because the clock decides only *whether the run is cut
+	// off*, never any simulated value — a run that beats its deadline is
+	// bit-identical to an unhardened run, and one that doesn't returns a
+	// FailDeadline artifact, not a result row (the daemon's store never
+	// caches failures as results).
 	var deadline time.Time
 	if opts.Deadline > 0 {
-		deadline = time.Now().Add(opts.Deadline)
+		deadline = time.Now().Add(opts.Deadline) //spurlint:ignore determinism — wall clock only aborts the run; it cannot alter any simulated value
 	}
 
 	var fail *RunFailure
@@ -258,6 +265,7 @@ func (m *Machine) RunHardened(src trace.Source, n int64, opts RunOptions) (Resul
 				fail = m.failure(FailAudit, err.Error(), "", tail, opts)
 				return
 			}
+			//spurlint:ignore determinism — wall clock only aborts the run; it cannot alter any simulated value
 			if !deadline.IsZero() && (i+1)%deadlineStride == 0 && time.Now().After(deadline) {
 				fail = m.failure(FailDeadline,
 					fmt.Sprintf("run exceeded its %v budget", opts.Deadline), "", tail, opts)

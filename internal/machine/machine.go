@@ -62,7 +62,7 @@ type Config struct {
 // reference scale.
 func DefaultConfig() Config {
 	return Config{
-		MemoryBytes:   8 << 20,
+		MemoryBytes:   core.MiB(8),
 		CacheBytes:    128 << 10,
 		WiredFrames:   128, // kernel + wired second-level page tables
 		Dirty:         core.DirtySPUR,

@@ -40,7 +40,7 @@ func NewPool(total, wired int) *Pool {
 	// The free list is kept LIFO so recently released frames are reused
 	// first, as a real allocator would for cache warmth.
 	for f := total - 1; f >= wired; f-- {
-		p.free = append(p.free, addr.PFN(f))
+		p.free = append(p.free, addr.PFN(f)) //spurlint:ignore countersafe — f indexes frames of a few-MB memory (at most thousands), far below 2^32
 	}
 	avail := total - wired
 	p.lowWater = max(1, avail/20)

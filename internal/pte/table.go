@@ -2,6 +2,7 @@ package pte
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
 )
@@ -91,11 +92,21 @@ func (t *Table) Invalidate(p addr.GVPN) Entry {
 // Len returns the number of valid (non-zero) entries.
 func (t *Table) Len() int { return len(t.entries) }
 
-// Range calls fn for every non-zero entry until fn returns false. Iteration
-// order is unspecified.
+// Range calls fn for every non-zero entry until fn returns false, in
+// ascending page order. The sparse map's iteration order is randomized per
+// range statement; exposing it to callers would let auditors, dumps and
+// page-out scans observe a different entry order on every run, breaking the
+// byte-identical-replay contract the experiment store depends on. Sorting
+// costs O(n log n) on a structure that is never on the per-reference hot
+// path (Lookup/Set/Update are direct map operations).
 func (t *Table) Range(fn func(addr.GVPN, Entry) bool) {
-	for p, e := range t.entries {
-		if !fn(p, e) {
+	pages := make([]addr.GVPN, 0, len(t.entries))
+	for p := range t.entries {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, p := range pages {
+		if !fn(p, t.entries[p]) {
 			return
 		}
 	}

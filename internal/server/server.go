@@ -298,12 +298,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for _, row := range rows {
 			if !seen[row.Workload] {
 				seen[row.Workload] = true
-				fmt.Fprintln(w, spur.MemorySweepChart(rows, row.Workload))
+				// Write errors here mean the client hung up; nothing to do.
+				_, _ = fmt.Fprintln(w, spur.MemorySweepChart(rows, row.Workload))
 			}
 		}
 	default:
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		fmt.Fprint(w, spur.MemorySweepCSV(rows))
+		// Write errors here mean the client hung up; nothing to do.
+		_, _ = fmt.Fprint(w, spur.MemorySweepCSV(rows))
 	}
 }
 
@@ -484,7 +486,9 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	// Encode errors mean the client hung up mid-response; the status line
+	// is already sent, so there is nothing useful left to report.
+	_ = enc.Encode(v)
 }
 
 func writeComputeError(w http.ResponseWriter, err error) {
@@ -503,5 +507,6 @@ func writeComputeError(w http.ResponseWriter, err error) {
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	// Best effort: the status code is already on the wire.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }

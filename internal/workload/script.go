@@ -2,12 +2,24 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
 	"repro/internal/proc"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
+
+// sortedNames returns the map's keys in ascending order, so region creation
+// and validation visit spec entries in a replay-stable sequence.
+func sortedNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // JobSpec names a job template within a script.
 type JobSpec struct {
@@ -99,20 +111,25 @@ func NewScript(env Env, seed uint64, spec Spec) *Script {
 	}
 	s.sched.OnExit = s.onExit
 
-	for name, pages := range spec.Images {
+	// Regions are created in sorted-name order. Ranging over the spec maps
+	// directly would bind segments to names in randomized map order, so two
+	// runs of the same spec could lay out the address space differently —
+	// invisible while the cache index stays below the segment bits, and a
+	// silent replay breaker the moment a sweep grows the cache past that.
+	for _, name := range sortedNames(spec.Images) {
 		seg := env.AllocSegment()
-		s.images[name] = env.AddRegion(addr.PageIn(seg, 0), pages, vm.Code)
+		s.images[name] = env.AddRegion(addr.PageIn(seg, 0), spec.Images[name], vm.Code)
 	}
-	for name, pages := range spec.Files {
+	for _, name := range sortedNames(spec.Files) {
 		seg := env.AllocSegment()
-		s.files[name] = env.AddRegion(addr.PageIn(seg, 0), pages, vm.Data)
+		s.files[name] = env.AddRegion(addr.PageIn(seg, 0), spec.Files[name], vm.Data)
 	}
-	for name, pages := range spec.ROFiles {
+	for _, name := range sortedNames(spec.ROFiles) {
 		if _, dup := s.files[name]; dup {
 			panic(fmt.Sprintf("workload: %q in both Files and ROFiles", name))
 		}
 		seg := env.AllocSegment()
-		s.files[name] = env.AddRegion(addr.PageIn(seg, 0), pages, vm.Code)
+		s.files[name] = env.AddRegion(addr.PageIn(seg, 0), spec.ROFiles[name], vm.Code)
 	}
 
 	for _, b := range spec.Background {

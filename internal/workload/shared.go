@@ -90,6 +90,6 @@ func (w *SharedWorkload) CPUs() int { return len(w.procs) }
 // Step emits the next reference of the given CPU's process.
 func (w *SharedWorkload) Step(cpu int) trace.Rec {
 	r := w.procs[cpu].Step()
-	r.PID = int32(cpu + 1)
+	r.PID = int32(cpu + 1) //spurlint:ignore countersafe — cpu is a processor index bounded by len(w.procs), a handful, never 2^31
 	return r
 }

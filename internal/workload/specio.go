@@ -38,21 +38,24 @@ func ValidateSpec(s Spec) error {
 	if len(s.Background)+len(s.Foreground) == 0 {
 		return fmt.Errorf("workload %s: no jobs", s.Name)
 	}
-	for name, pages := range s.Images {
-		if pages <= 0 {
+	// Validation walks the maps in sorted order so a spec with several
+	// problems reports the same first error every time (error text ends
+	// up in golden tests and failure bundles).
+	for _, name := range sortedNames(s.Images) {
+		if pages := s.Images[name]; pages <= 0 {
 			return fmt.Errorf("workload %s: image %q has %d pages", s.Name, name, pages)
 		}
 	}
-	for name, pages := range s.Files {
-		if pages <= 0 {
+	for _, name := range sortedNames(s.Files) {
+		if pages := s.Files[name]; pages <= 0 {
 			return fmt.Errorf("workload %s: file %q has %d pages", s.Name, name, pages)
 		}
 		if _, dup := s.ROFiles[name]; dup {
 			return fmt.Errorf("workload %s: %q in both Files and ROFiles", s.Name, name)
 		}
 	}
-	for name, pages := range s.ROFiles {
-		if pages <= 0 {
+	for _, name := range sortedNames(s.ROFiles) {
+		if pages := s.ROFiles[name]; pages <= 0 {
 			return fmt.Errorf("workload %s: ro-file %q has %d pages", s.Name, name, pages)
 		}
 	}

@@ -109,7 +109,9 @@ func Table41(opts Table41Options) []Table41Row {
 	for i := range results {
 		results[i] = make([]Result, opts.Reps)
 	}
-	parallel.ForEach(len(jobs), parallel.Options{
+	// A cancelled context leaves the unvisited cells zero-valued; callers
+	// that pass a context observe it themselves, so the error adds nothing.
+	_ = parallel.ForEach(len(jobs), parallel.Options{
 		Workers:  opts.Parallel,
 		Context:  opts.Context,
 		Progress: opts.Progress,

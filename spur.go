@@ -10,7 +10,7 @@
 // Quick start:
 //
 //	cfg := spur.DefaultConfig()
-//	cfg.MemoryBytes = 6 << 20
+//	cfg.MemoryBytes = spur.MiB(6)
 //	res := spur.Run(cfg, spur.Workload1())
 //	fmt.Println(res.Events.Nds, res.Events.PageIns)
 //
@@ -73,6 +73,12 @@ var DirtyPolicies = core.DirtyPolicies
 
 // RefPolicies lists the reference-bit policies in Table 4.1 order.
 var RefPolicies = core.RefPolicies
+
+// MiB converts a mebibyte count to bytes with the arithmetic done in 64
+// bits and range-checked; see core.MiB. All byte-size configuration should
+// go through it (spurlint's countersafe check enforces this) so `mb << 20`
+// can never silently overflow a 32-bit int again.
+func MiB(mb int) int { return core.MiB(mb) }
 
 // DefaultConfig returns the prototype configuration (Table 2.1) at the
 // reproduction's reference scale: 8 MB of memory, the SPUR dirty-bit policy
