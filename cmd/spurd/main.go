@@ -13,6 +13,13 @@
 // Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/tables/{id},
 // GET /healthz. SIGTERM/SIGINT drain gracefully: the listener closes,
 // in-flight requests finish, then the process exits.
+//
+// The daemon is crash-only: accepted jobs are journaled (fsynced) before
+// they compute, so a spurd killed mid-job restarts, replays the journal,
+// and recomputes whatever it still owes; a background scrubber verifies
+// every stored blob against its embedded hash and quarantines bit rot.
+// -jobs-journal and -scrub control both (journaling defaults on whenever
+// the store is on disk).
 package main
 
 import (
@@ -25,10 +32,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/server"
 )
 
@@ -39,22 +48,51 @@ func main() {
 	queue := flag.Int("queue", 0, "waiting jobs before load shedding (0 = 4x -jobs, negative = none)")
 	par := flag.Int("par", 0, "per-sweep worker bound (0 = -jobs)")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown budget")
+	jobsJournal := flag.String("jobs-journal", "auto", `durable job journal path ("auto" = <store>/jobs.journal, "off" = none)`)
+	scrub := flag.Duration("scrub", 5*time.Minute, "store integrity-scrub cadence (0 = never)")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "spurd: -jobs must be at least 1")
 		os.Exit(2)
 	}
+	if err := faultinject.ArmCrashFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
+		os.Exit(2)
+	}
+	journalPath := ""
+	switch *jobsJournal {
+	case "auto":
+		if *store != "" {
+			journalPath = filepath.Join(*store, "jobs.journal")
+		}
+	case "off", "":
+	default:
+		journalPath = *jobsJournal
+	}
+	if journalPath != "" {
+		// The journal usually lives inside the store directory, which the
+		// server only creates later; journal.Create needs the parent now.
+		if err := os.MkdirAll(filepath.Dir(journalPath), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
 	s, err := server.New(server.Config{
-		StoreDir: *store,
-		MaxRun:   *jobs,
-		MaxQueue: *queue,
-		Parallel: *par,
-		Logf:     log.Printf,
+		StoreDir:   *store,
+		MaxRun:     *jobs,
+		MaxQueue:   *queue,
+		Parallel:   *par,
+		JobJournal: journalPath,
+		ScrubEvery: *scrub,
+		Logf:       log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("spurd: %v", err)
+	}
+	if n := s.RecoverJobs(); n > 0 {
+		log.Printf("spurd: recovering %d journaled jobs from a previous process", n)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -87,6 +125,14 @@ func main() {
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("spurd: %v", err)
+	}
+	// Background job recovery keeps its share of the drain budget; whatever
+	// does not finish stays journaled for the next process.
+	if err := s.WaitJobs(shutdownCtx); err != nil {
+		log.Printf("spurd: drain: job recovery still running; it stays journaled for the next start")
+	}
+	if err := s.Close(); err != nil {
+		log.Printf("spurd: closing job journal: %v", err)
 	}
 	st := s.Store().Stats()
 	log.Printf("spurd: drained cleanly (store: %d mem hits, %d disk hits, %d misses, %d evictions)",

@@ -12,6 +12,11 @@
 // result store when an identical sweep has run before, and the output is
 // byte-identical to the local run either way.
 //
+// With -journal, every completed run is checkpointed to an fsynced journal
+// as the sweep progresses; after a crash (or SIGKILL), -resume replays the
+// journal, verifies it matches this sweep's spec, recomputes only the
+// missing runs, and produces byte-identical output to an uninterrupted run.
+//
 // Usage:
 //
 //	sweep                      # both workloads, 4-16 MB, all policies
@@ -19,6 +24,8 @@
 //	sweep -w slc -refs 4000000 # quicker
 //	sweep -csv > sweep.csv     # machine-readable, with mean/CI95 columns
 //	sweep -remote http://127.0.0.1:7421 -csv   # served (and memoized) by spurd
+//	sweep -journal s.journal -csv              # checkpoint as it goes
+//	sweep -resume s.journal -csv               # pick up after a crash
 package main
 
 import (
@@ -27,9 +34,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	spur "repro"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/pkg/client"
 )
 
@@ -38,10 +48,13 @@ func main() {
 	refs := flag.Int64("refs", 8_000_000, "references per run")
 	seed := flag.Uint64("seed", 1, "experiment seed (per-run seeds are derived from it)")
 	reps := flag.Int("reps", 1, "repetitions per cell (the paper ran 5)")
+	sizes := flag.String("sizes", "", "comma-separated memory sizes in MB (default 4,5,6,7,8,10,12,16)")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "concurrent runs (1 = serial)")
 	progress := flag.Bool("progress", false, "report run completion on stderr")
 	csv := flag.Bool("csv", false, "emit CSV instead of charts")
 	remote := flag.String("remote", "", "spurd base URL; the sweep is served (and memoized) by the daemon")
+	journalPath := flag.String("journal", "", "checkpoint every completed run to this journal (must not exist yet)")
+	resumePath := flag.String("resume", "", "resume from (and keep appending to) an existing checkpoint journal")
 	flag.Parse()
 
 	// Validate before anything runs: a zero or negative count would
@@ -49,6 +62,9 @@ func main() {
 	usage := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "sweep: "+format+"\n", args...)
 		os.Exit(2)
+	}
+	if err := faultinject.ArmCrashFromEnv(); err != nil {
+		usage("%v", err)
 	}
 	if *reps < 1 {
 		usage("-reps must be at least 1 (got %d)", *reps)
@@ -58,6 +74,27 @@ func main() {
 	}
 	if *refs < 1 {
 		usage("-refs must be at least 1 (got %d)", *refs)
+	}
+	if *journalPath != "" && *resumePath != "" {
+		usage("-journal starts a fresh checkpoint and -resume continues one; pick one")
+	}
+	ckptPath, ckptResume := *journalPath, false
+	if *resumePath != "" {
+		ckptPath, ckptResume = *resumePath, true
+	}
+	if ckptPath != "" && *remote != "" {
+		usage("-journal/-resume checkpoint local sweeps; the daemon journals its own jobs")
+	}
+
+	var sizesMB []int
+	if *sizes != "" {
+		for _, f := range strings.Split(*sizes, ",") {
+			mb, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || mb < 1 {
+				usage("bad -sizes entry %q", f)
+			}
+			sizesMB = append(sizesMB, mb)
+		}
 	}
 
 	var workloads []core.WorkloadName
@@ -72,13 +109,13 @@ func main() {
 	}
 
 	if *remote != "" {
-		runRemote(*remote, workloads, *refs, *seed, *reps, *csv)
+		runRemote(*remote, workloads, sizesMB, *refs, *seed, *reps, *csv)
 		return
 	}
 
 	opts := spur.MemorySweepOptions{
 		Refs: *refs, Seed: *seed, Reps: *reps, Parallel: *par,
-		Workloads: workloads,
+		Workloads: workloads, SizesMB: sizesMB,
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {
@@ -90,7 +127,17 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping memory sizes (%d reps/cell, %d at a time)...\n", *reps, *par)
-	rows := spur.MemorySweep(opts)
+	var rows []spur.MemorySweepRow
+	if ckptPath != "" {
+		var err error
+		rows, err = spur.MemorySweepJournaled(opts, ckptPath, ckptResume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		rows = spur.MemorySweep(opts)
+	}
 	if *csv {
 		fmt.Print(spur.MemorySweepCSV(rows))
 		return
@@ -107,8 +154,8 @@ func main() {
 
 // runRemote serves the sweep through a spurd daemon. The daemon renders
 // with the same code paths, so the bytes match a local run exactly.
-func runRemote(base string, workloads []core.WorkloadName, refs int64, seed uint64, reps int, csv bool) {
-	req := client.SweepRequest{Refs: refs, Seed: seed, Reps: reps}
+func runRemote(base string, workloads []core.WorkloadName, sizesMB []int, refs int64, seed uint64, reps int, csv bool) {
+	req := client.SweepRequest{SizesMB: sizesMB, Refs: refs, Seed: seed, Reps: reps}
 	for _, w := range workloads {
 		req.Workloads = append(req.Workloads, string(w))
 	}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestMain doubles as the sweep binary: when re-executed with SWEEP_HELPER=1
+// the test process runs main() with whatever flags the test passed, so the
+// kill-and-resume drill below exercises the real command — flag parsing,
+// journal creation, crash injection and process death included.
+func TestMain(m *testing.M) {
+	if os.Getenv("SWEEP_HELPER") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runSweep re-executes the test binary as the sweep command.
+func runSweep(t *testing.T, env []string, args ...string) (stdout, stderr []byte, err error) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "SWEEP_HELPER=1")
+	cmd.Env = append(cmd.Env, env...)
+	var out, serr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &serr
+	err = cmd.Run()
+	return out.Bytes(), serr.Bytes(), err
+}
+
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return 0
+}
+
+// TestKillAndResume is the crash drill end to end: a sweep subprocess is
+// killed at an injected crash point right after a journal append, then
+// resumed with -resume; the resumed CSV must be byte-identical to an
+// uninterrupted run of the same spec.
+func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash drill")
+	}
+	args := []string{"-w", "slc", "-sizes", "5,6", "-refs", "80000", "-seed", "7", "-reps", "2", "-par", "2", "-csv"}
+
+	baseline, _, err := runSweep(t, nil, args...)
+	if err != nil {
+		t.Fatalf("uninterrupted sweep: %v", err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("uninterrupted sweep produced no CSV")
+	}
+
+	// Crash after the third journal append: the process dies mid-sweep with
+	// the journal holding a strict partial.
+	jpath := filepath.Join(t.TempDir(), "sweep.journal")
+	_, stderr, err := runSweep(t,
+		[]string{faultinject.CrashEnv + "=" + string(faultinject.CrashPostJournalAppend) + ":3"},
+		append(args, "-journal", jpath)...)
+	if err == nil {
+		t.Fatalf("crash-armed sweep exited cleanly; stderr:\n%s", stderr)
+	}
+	if code := exitCode(err); code != faultinject.CrashExitCode {
+		t.Fatalf("crash-armed sweep exit code = %d, want %d; stderr:\n%s", code, faultinject.CrashExitCode, stderr)
+	}
+	if _, err := os.Stat(jpath); err != nil {
+		t.Fatalf("crashed sweep left no journal: %v", err)
+	}
+
+	// Resume: the journaled runs are reused, the rest recomputed, and the
+	// CSV matches the uninterrupted run byte for byte.
+	resumed, stderr, err := runSweep(t, nil, append(args, "-resume", jpath)...)
+	if err != nil {
+		t.Fatalf("resumed sweep: %v; stderr:\n%s", err, stderr)
+	}
+	if !bytes.Equal(resumed, baseline) {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n%s\nvs\n%s", resumed, baseline)
+	}
+}
+
+// TestResumeSpecMismatch asserts that resuming a journal with different
+// experiment flags fails loudly instead of mixing results across specs.
+func TestResumeSpecMismatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drill")
+	}
+	jpath := filepath.Join(t.TempDir(), "sweep.journal")
+	args := []string{"-w", "slc", "-sizes", "5", "-refs", "50000", "-seed", "7", "-csv"}
+	if _, stderr, err := runSweep(t, nil, append(args, "-journal", jpath)...); err != nil {
+		t.Fatalf("journaled sweep: %v; stderr:\n%s", err, stderr)
+	}
+
+	wrong := []string{"-w", "slc", "-sizes", "5", "-refs", "50000", "-seed", "8", "-csv", "-resume", jpath}
+	_, stderr, err := runSweep(t, nil, wrong...)
+	if err == nil {
+		t.Fatal("resume with a different seed succeeded")
+	}
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("spec-mismatch resume exit code = %d, want 1", code)
+	}
+	if !bytes.Contains(stderr, []byte("different experiment")) {
+		t.Fatalf("spec-mismatch stderr does not name the cause:\n%s", stderr)
+	}
+}
+
+// TestFlagValidation covers the checkpoint flag combinations that must be
+// rejected before any simulation starts.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-journal", "a", "-resume", "b"},
+		{"-journal", "a", "-remote", "http://127.0.0.1:1"},
+		{"-sizes", "5,zero"},
+		{"-sizes", "0"},
+	}
+	for _, args := range cases {
+		_, _, err := runSweep(t, nil, args...)
+		if code := exitCode(err); code != 2 {
+			t.Errorf("sweep %v exit code = %d, want 2", args, code)
+		}
+	}
+	// A malformed SPUR_CRASH value must be rejected, not ignored.
+	_, stderr, err := runSweep(t, []string{faultinject.CrashEnv + "=bogus"}, "-csv")
+	if code := exitCode(err); code != 2 {
+		t.Errorf("sweep with bad %s exit code = %d, want 2; stderr:\n%s", faultinject.CrashEnv, code, stderr)
+	}
+}

@@ -9,6 +9,8 @@
 //	tables -refs 4000000 -reps 1  # quicker, coarser runs
 //	tables -json                  # machine-readable report.Doc JSON
 //	tables -remote http://127.0.0.1:7421 -t 3.3   # served (and memoized) by spurd
+//	tables -t 4.1 -journal t41.journal            # checkpoint the long table
+//	tables -t 4.1 -resume t41.journal             # pick up after a crash
 //
 // -json emits the shared report.Doc serialization — the same shape the
 // spurd daemon's /v1/tables endpoint returns, so scripted consumers parse
@@ -23,6 +25,7 @@ import (
 	"runtime"
 
 	spur "repro"
+	"repro/internal/faultinject"
 	"repro/internal/report"
 	"repro/pkg/client"
 )
@@ -36,11 +39,16 @@ func main() {
 	paper := flag.Bool("paper", true, "print published values alongside")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (report.Doc rows) instead of text")
 	remote := flag.String("remote", "", "spurd base URL; tables are served (and memoized) by the daemon")
+	journalPath := flag.String("journal", "", "checkpoint Table 4.1 runs to this journal (requires -t 4.1; must not exist yet)")
+	resumePath := flag.String("resume", "", "resume Table 4.1 from (and keep appending to) an existing checkpoint journal (requires -t 4.1)")
 	flag.Parse()
 
 	usage := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "tables: "+format+"\n", args...)
 		os.Exit(2)
+	}
+	if err := faultinject.ArmCrashFromEnv(); err != nil {
+		usage("%v", err)
 	}
 	if *refs < 0 || *reps < 0 {
 		usage("-refs and -reps must not be negative (got %d, %d)", *refs, *reps)
@@ -48,12 +56,29 @@ func main() {
 	if *par < 1 {
 		usage("-par must be at least 1 (got %d)", *par)
 	}
+	if *journalPath != "" && *resumePath != "" {
+		usage("-journal starts a fresh checkpoint and -resume continues one; pick one")
+	}
+	ckptPath, ckptResume := *journalPath, false
+	if *resumePath != "" {
+		ckptPath, ckptResume = *resumePath, true
+	}
+	if ckptPath != "" {
+		// Only the long reference-bit table has a checkpointable driver;
+		// everything else finishes in seconds.
+		if *which != "4.1" {
+			usage("-journal/-resume checkpoint Table 4.1 only (use -t 4.1)")
+		}
+		if *remote != "" {
+			usage("-journal/-resume checkpoint local runs; the daemon journals its own jobs")
+		}
+	}
 
 	var docs []report.Doc
 	if *remote != "" {
 		docs = remoteDocs(*remote, *which, *refs, *reps, *seed, *paper, usage)
 	} else {
-		docs = localDocs(*which, *refs, *reps, *seed, *par, *paper, usage)
+		docs = localDocs(*which, *refs, *reps, *seed, *par, *paper, ckptPath, ckptResume, usage)
 	}
 
 	if *jsonOut {
@@ -77,7 +102,7 @@ func main() {
 
 // localDocs computes the requested artifacts in-process, in the shared
 // report.Doc form.
-func localDocs(which string, refs int64, reps int, seed uint64, par int, paper bool, usage func(string, ...any)) []report.Doc {
+func localDocs(which string, refs int64, reps int, seed uint64, par int, paper bool, ckptPath string, ckptResume bool, usage func(string, ...any)) []report.Doc {
 	// "all" covers the paper's tables and figures; the extension sweeps
 	// run only when asked for by name.
 	want := func(name string) bool {
@@ -125,7 +150,18 @@ func localDocs(which string, refs int64, reps int, seed uint64, par int, paper b
 	}
 	if want("4.1") {
 		fmt.Fprintln(os.Stderr, "running Table 4.1 reference-bit policy sweeps (this is the long one)...")
-		rows := spur.Table41(spur.Table41Options{Refs: refs, Reps: reps, Seed: seed, Parallel: par})
+		t41 := spur.Table41Options{Refs: refs, Reps: reps, Seed: seed, Parallel: par}
+		var rows []spur.Table41Row
+		if ckptPath != "" {
+			var err error
+			rows, err = spur.Table41Journaled(t41, ckptPath, ckptResume)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			rows = spur.Table41(t41)
+		}
 		add(spur.RenderTable41(rows, paper).Doc())
 	}
 	if want("ext") {

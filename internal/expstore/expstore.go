@@ -6,10 +6,19 @@
 //
 // The store is two-level: an in-memory LRU front for the hot keys a serving
 // daemon sees, backed by an on-disk directory of immutable JSON blobs.
-// Disk writes are crash-safe by construction (O_EXCL temp file + rename),
-// concurrent writers of the same key are harmless (first rename wins, the
-// bytes are identical by determinism), and hit/miss/eviction counters feed
-// the daemon's /healthz endpoint.
+// Disk writes are crash-safe by construction (O_EXCL temp file, fsync,
+// rename, directory fsync via journal.WriteFileAtomic), concurrent writers
+// of the same key are harmless (the bytes are identical by determinism),
+// and hit/miss/eviction counters feed the daemon's /healthz endpoint.
+//
+// The store is also self-healing. Every blob is sealed in an envelope that
+// carries the SHA-256 of its payload, every disk read re-verifies that hash
+// before serving, and Scrub sweeps the whole directory on demand (the
+// daemon runs it periodically). A blob that fails verification — bit rot, a
+// truncated write from a pre-envelope crash, manual tampering — is
+// quarantined: renamed aside with a .corrupt suffix, never deleted, counted
+// in Stats.Corrupt, and surfaced in /healthz. The next Get misses and the
+// caller transparently recomputes and re-stores the result.
 package expstore
 
 import (
@@ -17,11 +26,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/journal"
 )
 
 // Key is the content address of one experiment result: the hex SHA-256 of
@@ -73,6 +85,11 @@ type Stats struct {
 	// remains).
 	Puts      uint64 `json:"puts"`
 	Evictions uint64 `json:"evictions"`
+	// Corrupt counts blobs that failed content verification and were
+	// quarantined (renamed aside, never deleted); Scrubs counts completed
+	// integrity passes over the backing directory.
+	Corrupt uint64 `json:"corrupt"`
+	Scrubs  uint64 `json:"scrubs"`
 	// Entries and Bytes describe the current LRU front.
 	Entries int `json:"entries"`
 	Bytes   int `json:"bytes"`
@@ -148,8 +165,11 @@ func (s *Store) path(k Key) string {
 	return filepath.Join(s.dir, string(k[:2]), string(k)+".json")
 }
 
-// Get returns the stored bytes for k and whether they were found. Callers
-// must not mutate the returned slice.
+// Get returns the stored bytes for k and whether they were found. Disk
+// reads are verified against the envelope's payload hash before serving; a
+// blob that fails verification is quarantined and reported as a miss, so
+// the caller recomputes instead of consuming rot. Callers must not mutate
+// the returned slice.
 func (s *Store) Get(k Key) ([]byte, bool) {
 	if !k.valid() {
 		return nil, false
@@ -165,12 +185,16 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	s.mu.Unlock()
 
 	if s.dir != "" {
-		if data, err := os.ReadFile(s.path(k)); err == nil {
-			s.mu.Lock()
-			s.stats.DiskHits++
-			s.admit(k, data)
-			s.mu.Unlock()
-			return data, true
+		if raw, err := os.ReadFile(s.path(k)); err == nil {
+			data, verr := openBlob(raw)
+			if verr == nil {
+				s.mu.Lock()
+				s.stats.DiskHits++
+				s.admit(k, data)
+				s.mu.Unlock()
+				return data, true
+			}
+			s.quarantine(k)
 		}
 	}
 	s.mu.Lock()
@@ -179,38 +203,103 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores data under k: an atomic O_EXCL-temp-plus-rename disk write
-// (so a crash never leaves a torn blob, and concurrent writers of the same
-// key are benign) and admission into the LRU front. Re-putting an existing
-// key is a no-op success — by determinism the bytes are identical.
+// quarantine sets a corrupt blob aside — renamed with a .corrupt suffix,
+// never deleted, so the evidence survives for forensics — and counts it.
+// Concurrent quarantines of the same blob count once (first rename wins).
+func (s *Store) quarantine(k Key) {
+	path := s.path(k)
+	for i := 0; i < 64; i++ {
+		dst := path + ".corrupt"
+		if i > 0 {
+			dst = fmt.Sprintf("%s.corrupt%d", path, i)
+		}
+		if _, err := os.Stat(dst); err == nil {
+			continue // earlier quarantine of the same key holds this name
+		}
+		if err := os.Rename(path, dst); err != nil {
+			if os.IsNotExist(err) {
+				return // a concurrent quarantine already moved it
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Corrupt++
+		s.mu.Unlock()
+		return
+	}
+}
+
+// ScrubReport summarizes one integrity pass over the backing directory.
+type ScrubReport struct {
+	// Scanned blobs were read and verified; Quarantined of them failed and
+	// were set aside; Errors are blobs that could not be read at all.
+	Scanned     int `json:"scanned"`
+	Quarantined int `json:"quarantined"`
+	Errors      int `json:"errors"`
+}
+
+// Scrub verifies every blob in the backing directory against its embedded
+// payload hash, quarantining any that fail. It is safe to run concurrently
+// with serving — a blob quarantined mid-flight just turns the next Get into
+// a miss-and-recompute. Memory-only stores scrub trivially.
+func (s *Store) Scrub() ScrubReport {
+	var r ScrubReport
+	if s.dir != "" {
+		// The walk callback never returns an error; unreadable entries are
+		// counted in Errors.
+		_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				r.Errors++
+				return nil
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".json") {
+				return nil
+			}
+			k := Key(strings.TrimSuffix(filepath.Base(path), ".json"))
+			if !k.valid() {
+				return nil // foreign file; not ours to judge
+			}
+			r.Scanned++
+			raw, rerr := os.ReadFile(path)
+			if rerr != nil {
+				r.Errors++
+				return nil
+			}
+			if _, verr := openBlob(raw); verr != nil {
+				s.quarantine(k)
+				r.Quarantined++
+			}
+			return nil
+		})
+	}
+	s.mu.Lock()
+	s.stats.Scrubs++
+	s.mu.Unlock()
+	return r
+}
+
+// Put stores data under k: a sealed, fully fsynced atomic disk write
+// (temp file Sync before rename, then parent directory sync, via
+// journal.WriteFileAtomic — a crash never leaves a torn blob) and
+// admission into the LRU front. Re-putting an existing key is a no-op
+// success — by determinism the bytes are identical.
 func (s *Store) Put(k Key, data []byte) error {
 	if !k.valid() {
 		return fmt.Errorf("expstore: invalid key %q", k)
 	}
 	if s.dir != "" {
+		// The envelope embeds the payload verbatim as a JSON value, so the
+		// store can only persist JSON — which every result payload is.
+		if !json.Valid(data) {
+			return fmt.Errorf("expstore: put %s: payload is not valid JSON", k)
+		}
 		path := s.path(k)
 		if _, err := os.Stat(path); err != nil {
 			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 				return fmt.Errorf("expstore: put %s: %w", k, err)
 			}
-			tmp, err := openExclTemp(path)
-			if err != nil {
+			if err := journal.WriteFileAtomic(path, sealBlob(data), 0o644); err != nil {
 				return fmt.Errorf("expstore: put %s: %w", k, err)
-			}
-			if _, werr := tmp.Write(data); werr != nil {
-				_ = tmp.Close() // already failing; best-effort cleanup
-				_ = os.Remove(tmp.Name())
-				return fmt.Errorf("expstore: put %s: %w", k, werr)
-			}
-			if cerr := tmp.Close(); cerr != nil {
-				_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
-				return fmt.Errorf("expstore: put %s: %w", k, cerr)
-			}
-			// First rename wins; a concurrent writer's rename of
-			// identical bytes over ours is equally fine.
-			if rerr := os.Rename(tmp.Name(), path); rerr != nil {
-				_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
-				return fmt.Errorf("expstore: put %s: %w", k, rerr)
 			}
 		}
 	}
@@ -221,17 +310,40 @@ func (s *Store) Put(k Key, data []byte) error {
 	return nil
 }
 
-// openExclTemp opens a fresh temp file next to path with O_EXCL, retrying
-// with a numeric suffix if a concurrent writer holds the first name.
-func openExclTemp(path string) (*os.File, error) {
-	for i := 0; ; i++ {
-		name := fmt.Sprintf("%s.tmp%d", path, i)
-		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-		if os.IsExist(err) && i < 64 {
-			continue
-		}
-		return f, err
+// envelope is the on-disk blob format: the payload plus the hex SHA-256 of
+// its bytes, so any read can prove the disk still holds what was written.
+// (The store's *key* hashes the experiment spec, not the payload, so the
+// filename alone cannot authenticate the content — the envelope can.)
+type envelope struct {
+	Sum  string          `json:"sha256"`
+	Data json.RawMessage `json:"data"`
+}
+
+// sealBlob wraps payload in an envelope. The payload bytes are embedded
+// verbatim, so unsealing returns exactly what was sealed.
+func sealBlob(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, len(payload)+96)
+	buf = append(buf, `{"sha256":"`...)
+	buf = append(buf, hex.EncodeToString(sum[:])...)
+	buf = append(buf, `","data":`...)
+	buf = append(buf, payload...)
+	buf = append(buf, '}')
+	return buf
+}
+
+// openBlob verifies a sealed blob and returns its payload. Anything that
+// is not a well-formed envelope with a matching hash is corrupt.
+func openBlob(raw []byte) ([]byte, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("expstore: not a sealed blob: %w", err)
 	}
+	sum := sha256.Sum256(env.Data)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		return nil, errors.New("expstore: payload hash mismatch")
+	}
+	return env.Data, nil
 }
 
 // admit inserts (or refreshes) k in the LRU front and evicts from the back

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/faultinject"
 )
 
 func TestKeyOfCanonical(t *testing.T) {
@@ -56,11 +58,11 @@ func TestStoreRoundTrip(t *testing.T) {
 	if _, ok := s.Get(k); ok {
 		t.Fatal("hit on empty store")
 	}
-	if err := s.Put(k, []byte("result")); err != nil {
+	if err := s.Put(k, []byte(`"result"`)); err != nil {
 		t.Fatal(err)
 	}
 	got, ok := s.Get(k)
-	if !ok || string(got) != "result" {
+	if !ok || string(got) != `"result"` {
 		t.Fatalf("Get = %q, %v", got, ok)
 	}
 	st := s.Stats()
@@ -74,7 +76,7 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok = s2.Get(k)
-	if !ok || string(got) != "result" {
+	if !ok || string(got) != `"result"` {
 		t.Fatalf("reopened Get = %q, %v", got, ok)
 	}
 	if st := s2.Stats(); st.DiskHits != 1 {
@@ -96,12 +98,12 @@ func TestStoreAtomicWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := mustKey(t, "v1", "run", 42)
-	if err := s.Put(k, []byte("same")); err != nil {
+	if err := s.Put(k, []byte(`"same"`)); err != nil {
 		t.Fatal(err)
 	}
 	// Re-putting an existing key is a no-op success, and no temp files
 	// survive any Put.
-	if err := s.Put(k, []byte("same")); err != nil {
+	if err := s.Put(k, []byte(`"same"`)); err != nil {
 		t.Fatal(err)
 	}
 	found := 0
@@ -130,14 +132,14 @@ func TestStoreConcurrentSameKey(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := s.Put(k, []byte("deterministic bytes")); err != nil {
+			if err := s.Put(k, []byte(`"deterministic bytes"`)); err != nil {
 				t.Error(err)
 			}
 		}()
 	}
 	wg.Wait()
 	got, ok := s.Get(k)
-	if !ok || string(got) != "deterministic bytes" {
+	if !ok || string(got) != `"deterministic bytes"` {
 		t.Fatalf("Get = %q, %v", got, ok)
 	}
 }
@@ -191,6 +193,142 @@ func TestByteBound(t *testing.T) {
 	s.Put(big, make([]byte, 64))
 	if st := s.Stats(); st.Entries != 1 {
 		t.Errorf("oversized payload disturbed the front: %+v", st)
+	}
+}
+
+func TestGetQuarantinesCorruptBlob(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, "v1", "run", "soon to rot")
+	if err := s.Put(k, []byte(`{"result":1}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the payload on disk, then reopen the store so the LRU front
+	// is cold and Get must read the disk copy.
+	path := filepath.Join(s.Dir(), string(k[:2]), string(k)+".json")
+	if err := faultinject.FlipBit(path, 200); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(s.Dir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := s2.Get(k); ok {
+		t.Fatalf("corrupt blob served: %q", data)
+	}
+	st := s2.Stats()
+	if st.Corrupt != 1 || st.Misses != 1 || st.DiskHits != 0 {
+		t.Errorf("stats = %+v, want corrupt=1 miss=1 diskhits=0", st)
+	}
+	// The blob was renamed aside, not deleted.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt blob still at %s (err=%v)", path, err)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("quarantined blob missing: %v", err)
+	}
+	if n := s2.Len(); n != 0 {
+		t.Errorf("Len = %d after quarantine, want 0", n)
+	}
+
+	// The key is reusable: a recompute re-stores and serves cleanly.
+	if err := s2.Put(k, []byte(`{"result":1}`)); err != nil {
+		t.Fatalf("Put after quarantine: %v", err)
+	}
+	s3, err := Open(s.Dir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := s3.Get(k); !ok || string(data) != `{"result":1}` {
+		t.Fatalf("healed Get = %q, %v", data, ok)
+	}
+}
+
+func TestScrub(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, 3)
+	for i := range keys {
+		keys[i] = mustKey(t, "v1", "run", i)
+		if err := s.Put(keys[i], []byte(fmt.Sprintf(`{"r":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := s.Scrub(); r.Scanned != 3 || r.Quarantined != 0 || r.Errors != 0 {
+		t.Fatalf("clean scrub = %+v", r)
+	}
+
+	// Rot two of the three, plus a legacy unsealed blob under a fresh key
+	// (pre-envelope format: also quarantined).
+	for _, k := range keys[:2] {
+		path := filepath.Join(s.Dir(), string(k[:2]), string(k)+".json")
+		if err := faultinject.FlipBit(path, 180); err != nil {
+			t.Fatal(err)
+		}
+	}
+	legacy := mustKey(t, "v1", "run", "legacy")
+	legacyPath := filepath.Join(s.Dir(), string(legacy[:2]), string(legacy)+".json")
+	if err := os.MkdirAll(filepath.Dir(legacyPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(legacyPath, []byte(`{"r":"unsealed"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := s.Scrub()
+	if r.Scanned != 4 || r.Quarantined != 3 || r.Errors != 0 {
+		t.Fatalf("scrub = %+v, want scanned=4 quarantined=3", r)
+	}
+	st := s.Stats()
+	if st.Corrupt != 3 || st.Scrubs != 2 {
+		t.Errorf("stats = %+v, want corrupt=3 scrubs=2", st)
+	}
+	// Quarantined files still exist alongside the one healthy blob.
+	if n := s.Len(); n != 1 {
+		t.Errorf("Len = %d, want 1", n)
+	}
+	if _, err := os.Stat(legacyPath + ".corrupt"); err != nil {
+		t.Errorf("legacy blob not quarantined: %v", err)
+	}
+	// A second scrub of the survivors is clean.
+	if r := s.Scrub(); r.Scanned != 1 || r.Quarantined != 0 {
+		t.Fatalf("re-scrub = %+v", r)
+	}
+}
+
+func TestQuarantineNeverOverwrites(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mustKey(t, "v1", "run", "repeat offender")
+	path := filepath.Join(s.Dir(), string(k[:2]), string(k)+".json")
+	// Corrupt and quarantine the same key twice: both corpses survive.
+	for i := 0; i < 2; i++ {
+		if err := s.Put(k, []byte(`{"x":1}`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := faultinject.FlipBit(path, 150); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Open(s.Dir(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := fresh.Get(k); ok {
+			t.Fatal("corrupt blob served")
+		}
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("first corpse missing: %v", err)
+	}
+	if _, err := os.Stat(path + ".corrupt1"); err != nil {
+		t.Errorf("second corpse missing: %v", err)
 	}
 }
 

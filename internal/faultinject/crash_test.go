@@ -1,0 +1,99 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCrashFiresOnNthHit(t *testing.T) {
+	var exits []int
+	prev := SetCrashExit(func(code int) { exits = append(exits, code) })
+	defer SetCrashExit(prev)
+	defer DisarmCrash()
+
+	ArmCrash(CrashPreRename, 3)
+	Crash(CrashPostJournalAppend) // wrong point: never counts
+	Crash(CrashPreRename)
+	Crash(CrashPreRename)
+	if len(exits) != 0 {
+		t.Fatalf("crash fired after %d hits, want 3", len(exits))
+	}
+	Crash(CrashPreRename)
+	if len(exits) != 1 || exits[0] != CrashExitCode {
+		t.Fatalf("exits = %v, want one exit with code %d", exits, CrashExitCode)
+	}
+
+	DisarmCrash()
+	Crash(CrashPreRename)
+	if len(exits) != 1 {
+		t.Fatalf("disarmed crash still fired")
+	}
+}
+
+func TestArmCrashFromEnv(t *testing.T) {
+	var exits []int
+	prev := SetCrashExit(func(code int) { exits = append(exits, code) })
+	defer SetCrashExit(prev)
+	defer DisarmCrash()
+
+	t.Setenv(CrashEnv, "post-journal-append:2")
+	if err := ArmCrashFromEnv(); err != nil {
+		t.Fatalf("ArmCrashFromEnv: %v", err)
+	}
+	Crash(CrashPostJournalAppend)
+	Crash(CrashPostJournalAppend)
+	if len(exits) != 1 {
+		t.Fatalf("exits = %v, want exactly one", exits)
+	}
+
+	for _, bad := range []string{"post-journal-append", "nope:1", "pre-rename:0", "pre-rename:x"} {
+		t.Setenv(CrashEnv, bad)
+		if err := ArmCrashFromEnv(); err == nil {
+			t.Errorf("ArmCrashFromEnv(%q) succeeded, want error", bad)
+		}
+	}
+
+	t.Setenv(CrashEnv, "")
+	DisarmCrash()
+	if err := ArmCrashFromEnv(); err != nil {
+		t.Fatalf("empty %s should be a no-op, got %v", CrashEnv, err)
+	}
+	Crash(CrashPostJournalAppend)
+	if len(exits) != 1 {
+		t.Fatalf("unarmed crash fired")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, []byte{0x00, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 9); err != nil { // bit 1 of byte 1
+		t.Fatalf("FlipBit: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x00 || got[1] != 0xfd {
+		t.Fatalf("after flip: % x, want 00 fd", got)
+	}
+	if err := FlipBit(path, 9); err != nil {
+		t.Fatalf("FlipBit back: %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 0xff {
+		t.Fatalf("double flip did not restore the byte: % x", got)
+	}
+	if err := FlipBit(path, 999); err == nil {
+		t.Fatal("flipping a bit past EOF succeeded, want error")
+	}
+	if err := FlipBit(path, -1); err == nil {
+		t.Fatal("flipping a negative bit succeeded, want error")
+	}
+}

@@ -118,9 +118,15 @@ func (f *RunFailure) WriteBundle(dir string) (string, error) {
 			return "", err
 		}
 		_, werr := w.Write(data)
+		// Bundles exist to survive the crash that produced them; fsync so
+		// a dying process (or machine) cannot take the evidence with it.
+		serr := w.Sync()
 		cerr := w.Close()
 		if werr != nil {
 			return "", werr
+		}
+		if serr != nil {
+			return "", serr
 		}
 		if cerr != nil {
 			return "", cerr

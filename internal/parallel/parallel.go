@@ -30,6 +30,11 @@ type Options struct {
 	// jobs have completed and the total. Calls are serialized; done is
 	// strictly increasing from 1 to total.
 	Progress func(done, total int)
+	// Skip, when set, is consulted as each job is claimed: a true return
+	// means the job's result already exists (e.g. replayed from a
+	// checkpoint journal) and fn is not called. Skipped jobs still count
+	// toward Progress, so done still reaches total.
+	Skip func(i int) bool
 }
 
 func (o Options) workers(n int) int {
@@ -83,7 +88,9 @@ func ForEach(n int, opts Options, fn func(i int)) error {
 				if ctx != nil && ctx.Err() != nil {
 					return
 				}
-				fn(i)
+				if opts.Skip == nil || !opts.Skip(i) {
+					fn(i)
+				}
 				if opts.Progress != nil {
 					d := int(done.Add(1))
 					mu.Lock()

@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -56,6 +57,13 @@ type Config struct {
 	// Version is the code-version component of every store key
 	// (default spur.Version).
 	Version string
+	// JobJournal, when set, makes accepted jobs durable: every admitted
+	// job is journaled (fsynced) before it computes, and RecoverJobs
+	// recomputes whatever an earlier process accepted but never finished.
+	JobJournal string
+	// ScrubEvery, when positive, runs a background store integrity pass
+	// (expstore.Scrub) at that cadence, quarantining bit-rotted blobs.
+	ScrubEvery time.Duration
 	// Logf, when set, receives one line per computed (not cached) job.
 	Logf func(format string, args ...any)
 }
@@ -87,9 +95,14 @@ type Server struct {
 	store    *expstore.Store
 	q        *queue
 	fl       *flight
+	jobs     *jobLog
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
+
+	recoverWG sync.WaitGroup
+	stopScrub chan struct{}
+	closeOnce sync.Once
 }
 
 // New assembles a server (opening the store if Config.Store is nil).
@@ -111,6 +124,17 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
+	if cfg.JobJournal != "" {
+		jobs, err := openJobLog(cfg.JobJournal, cfg.Version, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = jobs
+	}
+	if cfg.ScrubEvery > 0 {
+		s.stopScrub = make(chan struct{})
+		go s.scrubLoop()
+	}
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTables)
@@ -130,13 +154,56 @@ func (s *Server) Store() *expstore.Store { return s.store }
 // in-flight requests.
 func (s *Server) StartDraining() { s.draining.Store(true) }
 
+// Close stops the background scrubber and closes the job journal. It is
+// idempotent; call it after the HTTP server has drained.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		if s.stopScrub != nil {
+			close(s.stopScrub)
+		}
+		if s.jobs != nil {
+			err = s.jobs.close()
+		}
+	})
+	return err
+}
+
+// scrubLoop periodically verifies every stored blob against its embedded
+// hash, quarantining bit rot before a request can trip over it.
+func (s *Server) scrubLoop() {
+	t := time.NewTicker(s.cfg.ScrubEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopScrub:
+			return
+		case <-t.C:
+			rep := s.store.Scrub()
+			if rep.Quarantined > 0 || rep.Errors > 0 {
+				s.cfg.Logf("spurd: scrub: %d blobs scanned, %d quarantined, %d unreadable", rep.Scanned, rep.Quarantined, rep.Errors)
+			}
+		}
+	}
+}
+
+// jobFn computes one job's stored bytes; cache reports whether they may be
+// persisted.
+type jobFn func(ctx context.Context) (data []byte, cache bool, err error)
+
 // memoize is the service's core loop: serve key from the store if
 // present; otherwise let exactly one request compute it (in-flight dedupe)
 // under a bounded-queue slot (admission control), persisting the bytes
 // when fn says they are cacheable. The computation runs detached from the
 // requester's context so an abandoned request still fills the store for
 // the retry.
-func (s *Server) memoize(ctx context.Context, key expstore.Key, fn func(ctx context.Context) (data []byte, cache bool, err error)) (data []byte, cached bool, err error) {
+//
+// With a job journal configured, the job is journaled durable between
+// admission and completion: the accept record (kind + spec) lands, fsynced,
+// before fn runs, and the done record only once the result is safely in the
+// store (or fn failed — by determinism a retry would fail identically). A
+// process killed in between owes the job, and RecoverJobs repays it.
+func (s *Server) memoize(ctx context.Context, key expstore.Key, kind string, spec any, fn jobFn) (data []byte, cached bool, err error) {
 	if data, ok := s.store.Get(key); ok {
 		return data, true, nil
 	}
@@ -146,16 +213,27 @@ func (s *Server) memoize(ctx context.Context, key expstore.Key, fn func(ctx cont
 			return nil, err
 		}
 		defer release()
-		data, cache, err := fn(context.WithoutCancel(ctx))
-		if err != nil {
-			return nil, err
+		if s.jobs != nil {
+			if jerr := s.jobs.accept(kind, key, spec); jerr != nil {
+				s.cfg.Logf("spurd: journaling %s job %.12s: %v", kind, key, jerr)
+			}
 		}
-		if cache {
+		data, cache, err := fn(context.WithoutCancel(ctx))
+		persisted := true
+		if err == nil && cache {
 			if perr := s.store.Put(key, data); perr != nil {
+				// Leave the job pending: the result never reached the
+				// store, so a restart should recompute and re-persist it.
+				persisted = false
 				s.cfg.Logf("spurd: store put %s: %v", key, perr)
 			}
 		}
-		return data, nil
+		if s.jobs != nil && persisted {
+			if jerr := s.jobs.done(key); jerr != nil {
+				s.cfg.Logf("spurd: journaling %s done %.12s: %v", kind, key, jerr)
+			}
+		}
+		return data, err
 	})
 	return data, false, err
 }
@@ -182,7 +260,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	data, cached, err := s.memoize(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
+	data, cached, err := s.memoize(r.Context(), key, "run", req, s.runJob(key, req))
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	var p runPayload
+	if err := json.Unmarshal(data, &p); err != nil {
+		httpError(w, http.StatusInternalServerError, "corrupt stored run: %v", err)
+		return
+	}
+	writeJSON(w, client.RunResponse{Key: string(key), Cached: cached, Result: p.Result, Failure: p.Failure})
+}
+
+// runJob is the compute closure behind /v1/run, shared with job recovery.
+func (s *Server) runJob(key expstore.Key, req client.RunRequest) jobFn {
+	return func(ctx context.Context) ([]byte, bool, error) {
 		t0 := time.Now()
 		p, err := s.computeRun(req)
 		if err != nil {
@@ -194,17 +287,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// failure is load-dependent, and keeping failures out of the
 		// store means a fixed simulator never replays a stale crash.
 		return data, err == nil && p.Failure == nil, err
-	})
-	if err != nil {
-		writeComputeError(w, err)
-		return
 	}
-	var p runPayload
-	if err := json.Unmarshal(data, &p); err != nil {
-		httpError(w, http.StatusInternalServerError, "corrupt stored run: %v", err)
-		return
-	}
-	writeJSON(w, client.RunResponse{Key: string(key), Cached: cached, Result: p.Result, Failure: p.Failure})
 }
 
 func (s *Server) computeRun(req client.RunRequest) (runPayload, error) {
@@ -268,16 +351,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	data, cached, err := s.memoize(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
-		t0 := time.Now()
-		rows, err := s.computeSweep(ctx, req)
-		if err != nil {
-			return nil, false, err
-		}
-		s.cfg.Logf("spurd: sweep %s (%d rows) computed in %s", key[:12], len(rows), time.Since(t0).Round(time.Millisecond))
-		data, err := json.Marshal(rows)
-		return data, err == nil, err
-	})
+	data, cached, err := s.memoize(r.Context(), key, "sweep", keyReq, s.sweepJob(key, req))
 	if err != nil {
 		writeComputeError(w, err)
 		return
@@ -306,6 +380,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		// Write errors here mean the client hung up; nothing to do.
 		_, _ = fmt.Fprint(w, spur.MemorySweepCSV(rows))
+	}
+}
+
+// sweepJob is the compute closure behind /v1/sweep, shared with job
+// recovery.
+func (s *Server) sweepJob(key expstore.Key, req client.SweepRequest) jobFn {
+	return func(ctx context.Context) ([]byte, bool, error) {
+		t0 := time.Now()
+		rows, err := s.computeSweep(ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cfg.Logf("spurd: sweep %s (%d rows) computed in %s", key[:12], len(rows), time.Since(t0).Round(time.Millisecond))
+		data, err := json.Marshal(rows)
+		return data, err == nil, err
 	}
 }
 
@@ -358,16 +447,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	data, cached, err := s.memoize(r.Context(), key, func(ctx context.Context) ([]byte, bool, error) {
-		t0 := time.Now()
-		docs, err := s.computeTables(ctx, id, q)
-		if err != nil {
-			return nil, false, err
-		}
-		s.cfg.Logf("spurd: tables/%s %s computed in %s", id, key[:12], time.Since(t0).Round(time.Millisecond))
-		data, err := json.Marshal(docs)
-		return data, err == nil, err
-	})
+	data, cached, err := s.memoize(r.Context(), key, "tables/"+id, q, s.tablesJob(key, id, q))
 	if err != nil {
 		writeComputeError(w, err)
 		return
@@ -407,6 +487,21 @@ func parseTablesQuery(r *http.Request) (client.TablesQuery, error) {
 		}
 	}
 	return q, nil
+}
+
+// tablesJob is the compute closure behind /v1/tables/{id}, shared with job
+// recovery.
+func (s *Server) tablesJob(key expstore.Key, id string, q client.TablesQuery) jobFn {
+	return func(ctx context.Context) ([]byte, bool, error) {
+		t0 := time.Now()
+		docs, err := s.computeTables(ctx, id, q)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cfg.Logf("spurd: tables/%s %s computed in %s", id, key[:12], time.Since(t0).Round(time.Millisecond))
+		data, err := json.Marshal(docs)
+		return data, err == nil, err
+	}
 }
 
 func (s *Server) computeTables(ctx context.Context, id string, q client.TablesQuery) ([]report.Doc, error) {
@@ -458,13 +553,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, client.Health{
+	h := client.Health{
 		Status:  status,
 		Version: s.cfg.Version,
 		Store:   s.store.Stats(),
 		Queue:   s.q.stats(s.fl.deduped.Load()),
 		Uptime:  client.Duration(time.Since(s.start)),
-	})
+	}
+	if s.jobs != nil {
+		h.Jobs = s.jobs.stats()
+	}
+	writeJSON(w, h)
 }
 
 // --- plumbing ----------------------------------------------------------------

@@ -93,6 +93,13 @@ type MemorySweepOptions struct {
 	// (e.g. schedule fault injection for specific cells in chaos drills).
 	// It runs concurrently across cells and must not mutate shared state.
 	Configure func(cfg *Config, wl core.WorkloadName, memMB int, pol RefPolicy)
+
+	// Checkpoint hooks, installed by MemorySweepJournaled: repetitions
+	// replayed from a journal to pre-seed, the already-done predicate, and
+	// the per-completion record hook (called concurrently across workers).
+	preseed  []ckptEntry
+	skipDone func(cell, rep int) bool
+	onRep    func(cell, rep int, r SweepRep)
 }
 
 func (o *MemorySweepOptions) fill() {
@@ -138,25 +145,18 @@ func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 		ArtifactDir: opts.ArtifactDir,
 	}
 
-	type cell struct {
-		wl  core.WorkloadName
-		mb  int
-		pol RefPolicy
-	}
-	var cells []cell
-	for _, wl := range opts.Workloads {
-		for _, mb := range opts.SizesMB {
-			for _, pol := range opts.Policies {
-				cells = append(cells, cell{wl, mb, pol})
-			}
-		}
-	}
+	cells := sweepCells(opts)
 	rows := make([]MemorySweepRow, len(cells))
 	for i, c := range cells {
 		rows[i] = MemorySweepRow{
 			Workload: c.wl, MemMB: c.mb, Policy: c.pol,
 			Reps: make([]SweepRep, opts.Reps),
 		}
+	}
+	// Repetitions replayed from a checkpoint journal land in their slots
+	// before dispatch; skipDone keeps the engine from recomputing them.
+	for _, e := range opts.preseed {
+		rows[e.Cell].Reps[e.Rep] = SweepRep{Seed: e.Seed, Result: e.Result, Failure: e.Failure}
 	}
 
 	// Randomized experiment design: the execution order of the (cell, rep)
@@ -173,13 +173,17 @@ func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 	}
 	stats.Shuffle(jobs, opts.Seed*0x9e3779b9+17)
 
-	// A cancelled context leaves the unvisited cells zero-valued; callers
-	// that pass a context observe it themselves, so the error adds nothing.
-	_ = parallel.ForEach(len(jobs), parallel.Options{
+	popts := parallel.Options{
 		Workers:  opts.Parallel,
 		Context:  opts.Context,
 		Progress: opts.Progress,
-	}, func(i int) {
+	}
+	if opts.skipDone != nil {
+		popts.Skip = func(i int) bool { return opts.skipDone(jobs[i].cell, jobs[i].rep) }
+	}
+	// A cancelled context leaves the unvisited cells zero-valued; callers
+	// that pass a context observe it themselves, so the error adds nothing.
+	_ = parallel.ForEach(len(jobs), popts, func(i int) {
 		j := jobs[i]
 		c := cells[j.cell]
 		cfg := DefaultConfig()
@@ -196,7 +200,11 @@ func MemorySweep(opts MemorySweepOptions) []MemorySweepRow {
 		}
 		res, fail := RunHardened(cfg, spec, runOpts)
 		// Each job owns its (cell, rep) slot; no two jobs share memory.
-		rows[j.cell].Reps[j.rep] = SweepRep{Seed: cfg.Seed, Result: res, Failure: fail}
+		sr := SweepRep{Seed: cfg.Seed, Result: res, Failure: fail}
+		rows[j.cell].Reps[j.rep] = sr
+		if opts.onRep != nil {
+			opts.onRep(j.cell, j.rep, sr)
+		}
 	})
 
 	for i := range rows {

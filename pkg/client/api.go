@@ -322,8 +322,23 @@ type Health struct {
 	Store expstore.Stats `json:"store"`
 	// Queue is the job queue's occupancy snapshot.
 	Queue QueueStats `json:"queue"`
+	// Jobs snapshots the durable job journal; nil when the daemon runs
+	// without one.
+	Jobs *JobsStats `json:"jobs,omitempty"`
 	// Uptime is the daemon's age.
 	Uptime Duration `json:"uptime"`
+}
+
+// JobsStats snapshots the daemon's durable job journal.
+type JobsStats struct {
+	// Journaled jobs were accepted and journaled this process; Completed
+	// of them finished (result persisted or deterministically failed).
+	Journaled uint64 `json:"journaled"`
+	Completed uint64 `json:"completed"`
+	// Recovered counts jobs owed by a previous process and recomputed at
+	// startup; Pending is the current accepted-but-unfinished count.
+	Recovered uint64 `json:"recovered"`
+	Pending   int    `json:"pending"`
 }
 
 // QueueStats snapshots the daemon's bounded job queue.

@@ -192,9 +192,14 @@ func (c *Client) do(ctx context.Context, method, path string, in any) ([]byte, h
 		}
 		// Full jitter keeps a fleet of retrying clients from stampeding.
 		delay = time.Duration(float64(delay) * (0.5 + 0.5*rand.Float64()))
+		// A stoppable timer (not time.After) so a cancelled caller returns
+		// promptly without leaving the timer allocated until it fires —
+		// long Retry-After waits would otherwise pin memory per retry.
+		t := time.NewTimer(delay)
 		select {
-		case <-time.After(delay):
+		case <-t.C:
 		case <-ctx.Done():
+			t.Stop()
 			return nil, nil, ctx.Err()
 		}
 	}

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -135,6 +136,34 @@ func TestContextCancelStopsRetrying(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Error("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestPromptCancelMidBackoff(t *testing.T) {
+	// A daemon shedding load forever: every attempt gets a retryable 503,
+	// so the client spends its life in backoff sleeps. An explicit cancel
+	// landing mid-sleep must return promptly with the context's error, not
+	// after the hour-long timer.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Backoff = time.Hour
+	c.MaxBackoff = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Run(ctx, RunRequest{Refs: 1})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancel mid-backoff took %s to surface, want prompt return", elapsed)
 	}
 }
 

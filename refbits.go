@@ -35,6 +35,13 @@ type Table41Options struct {
 	Parallel int
 	Progress func(done, total int)
 	Context  context.Context
+
+	// Checkpoint hooks, installed by Table41Journaled: results replayed
+	// from a journal to pre-seed, the already-done predicate, and the
+	// per-completion record hook (called concurrently across workers).
+	preseed  []ckptEntry
+	skipDone func(cell, rep int) bool
+	onRep    func(cell, rep int, seed uint64, res Result)
 }
 
 func (o *Table41Options) fill() {
@@ -78,19 +85,7 @@ type Table41Row struct {
 func Table41(opts Table41Options) []Table41Row {
 	opts.fill()
 
-	type cell struct {
-		wl     core.WorkloadName
-		mb     int
-		policy RefPolicy
-	}
-	var cells []cell
-	for _, wl := range []core.WorkloadName{core.SLC, core.Workload1} {
-		for _, mb := range opts.SizesMB {
-			for _, pol := range RefPolicies {
-				cells = append(cells, cell{wl, mb, pol})
-			}
-		}
-	}
+	cells := table41Cells(opts)
 
 	// Randomized experiment design: the execution order of the data points
 	// is shuffled (deterministically per seed). Results land in slots
@@ -109,25 +104,38 @@ func Table41(opts Table41Options) []Table41Row {
 	for i := range results {
 		results[i] = make([]Result, opts.Reps)
 	}
-	// A cancelled context leaves the unvisited cells zero-valued; callers
-	// that pass a context observe it themselves, so the error adds nothing.
-	_ = parallel.ForEach(len(jobs), parallel.Options{
+	// Repetitions replayed from a checkpoint journal land in their slots
+	// before dispatch; skipDone keeps the engine from recomputing them.
+	for _, e := range opts.preseed {
+		results[e.Cell][e.Rep] = e.Result
+	}
+	popts := parallel.Options{
 		Workers:  opts.Parallel,
 		Context:  opts.Context,
 		Progress: opts.Progress,
-	}, func(i int) {
+	}
+	if opts.skipDone != nil {
+		popts.Skip = func(i int) bool { return opts.skipDone(jobs[i].cell, jobs[i].rep) }
+	}
+	// A cancelled context leaves the unvisited cells zero-valued; callers
+	// that pass a context observe it themselves, so the error adds nothing.
+	_ = parallel.ForEach(len(jobs), popts, func(i int) {
 		j := jobs[i]
 		c := cells[j.cell]
 		cfg := DefaultConfig()
 		cfg.MemoryBytes = core.MiB(c.mb)
 		cfg.TotalRefs = opts.Refs
 		cfg.Seed = parallel.DeriveSeed(opts.Seed, uint64(j.cell), uint64(j.rep))
-		cfg.Ref = c.policy
+		cfg.Ref = c.pol
 		spec := SLC()
 		if c.wl == core.Workload1 {
 			spec = Workload1()
 		}
-		results[j.cell][j.rep] = Run(cfg, spec)
+		res := Run(cfg, spec)
+		results[j.cell][j.rep] = res
+		if opts.onRep != nil {
+			opts.onRep(j.cell, j.rep, cfg.Seed, res)
+		}
 	})
 
 	summarize := func(ci int) (pageIns, elapsed, refFaults, flushes []float64) {
@@ -142,7 +150,7 @@ func Table41(opts Table41Options) []Table41Row {
 
 	cellIndex := func(wl core.WorkloadName, mb int, pol RefPolicy) int {
 		for i, c := range cells {
-			if c.wl == wl && c.mb == mb && c.policy == pol {
+			if c.wl == wl && c.mb == mb && c.pol == pol {
 				return i
 			}
 		}
