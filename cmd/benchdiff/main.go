@@ -1,0 +1,151 @@
+// Command benchdiff compares two benchmark records produced by
+// `go test -bench -json` and fails when any benchmark regressed by more
+// than a threshold. CI uses it to diff a pull request's BENCH record
+// against the last BENCH_head artifact from main, so a performance
+// regression fails the build instead of silently shipping.
+//
+// Usage:
+//
+//	benchdiff [-threshold 15] baseline.json candidate.json
+//
+// Benchmarks present on only one side are reported but never fail the
+// diff (new benchmarks appear, retired ones disappear); only a matched
+// benchmark whose ns/op grew past the threshold does. Exit status: 0 ok,
+// 1 regression, 2 usage or unreadable/empty records.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// bench is one benchmark measurement extracted from a record.
+type bench struct {
+	name string
+	nsOp float64
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op growth, in percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := parseRecord(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := parseRecord(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: candidate: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cand))
+	for name := range cand {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := false
+	for _, name := range names {
+		old, ok := base[name]
+		if !ok {
+			fmt.Printf("NEW   %-40s %12.0f ns/op (no baseline)\n", name, cand[name])
+			continue
+		}
+		delta := 100 * (cand[name] - old) / old
+		verdict := "ok   "
+		if delta > *threshold {
+			verdict = "FAIL "
+			regressed = true
+		}
+		fmt.Printf("%s %-40s %12.0f -> %12.0f ns/op (%+.1f%%, limit +%.0f%%)\n",
+			verdict, name, old, cand[name], delta, *threshold)
+	}
+	for name := range base {
+		if _, ok := cand[name]; !ok {
+			fmt.Printf("GONE  %-40s (in baseline only)\n", name)
+		}
+	}
+	if regressed {
+		fmt.Printf("benchdiff: regression beyond +%.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+// parseRecord reads one `go test -json` stream and returns ns/op by
+// benchmark name. Plain (non -json) benchmark output parses too, since the
+// result lines are identical either way.
+func parseRecord(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, core.MiB(1)), core.MiB(1))
+	for sc.Scan() {
+		line := sc.Text()
+		// In -json mode each output line arrives wrapped in a test2json
+		// event; unwrap it, then parse the classic benchmark result line.
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if strings.HasPrefix(line, "{") && json.Unmarshal([]byte(line), &ev) == nil {
+			if ev.Action != "output" {
+				continue
+			}
+			line = strings.TrimSuffix(ev.Output, "\n")
+		}
+		if b, ok := parseBenchLine(line); ok {
+			out[b.name] = b.nsOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+// parseBenchLine parses "BenchmarkX-8  10  123456 ns/op ..." result lines.
+func parseBenchLine(line string) (bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return bench{}, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return bench{}, false
+		}
+		// Strip the -<GOMAXPROCS> suffix so records from differently sized
+		// runners still match up.
+		name := fields[0]
+		if j := strings.LastIndex(name, "-"); j > 0 {
+			if _, err := strconv.Atoi(name[j+1:]); err == nil {
+				name = name[:j]
+			}
+		}
+		return bench{name: name, nsOp: ns}, true
+	}
+	return bench{}, false
+}

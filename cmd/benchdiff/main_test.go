@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkMemorySweep-8   1  123456789 ns/op", "BenchmarkMemorySweep", 123456789, true},
+		{"BenchmarkX 10 42.5 ns/op 16 B/op", "BenchmarkX", 42.5, true},
+		{"ok  \trepro\t1.2s", "", 0, false},
+		{"--- PASS: TestSomething", "", 0, false},
+		{"BenchmarkNoResult-8", "", 0, false},
+	}
+	for _, c := range cases {
+		b, ok := parseBenchLine(c.line)
+		if ok != c.ok || b.name != c.name || b.nsOp != c.ns {
+			t.Errorf("parseBenchLine(%q) = %+v, %v; want name=%q ns=%v ok=%v",
+				c.line, b, ok, c.name, c.ns, c.ok)
+		}
+	}
+}

@@ -20,6 +20,16 @@
 // every stored blob against its embedded hash and quarantines bit rot.
 // -jobs-journal and -scrub control both (journaling defaults on whenever
 // the store is on disk).
+//
+// Fleet mode: give every node the same -peers list plus its own -self URL
+// and the daemons shard the result store over a consistent-hash ring with
+// -replicas copies of each blob. Non-owners proxy to the owner (bounded by
+// -max-hops), successful results replicate through a durable outbox
+// (-outbox), the scrubber repairs corrupt or missing blobs from replicas
+// before recomputing, and GET /v1/cluster reports membership and health.
+//
+//	spurd -addr 127.0.0.1:7421 -self http://127.0.0.1:7421 \
+//	      -peers http://127.0.0.1:7421,http://127.0.0.1:7422,http://127.0.0.1:7423
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,9 +61,28 @@ func main() {
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown budget")
 	jobsJournal := flag.String("jobs-journal", "auto", `durable job journal path ("auto" = <store>/jobs.journal, "off" = none)`)
 	scrub := flag.Duration("scrub", 5*time.Minute, "store integrity-scrub cadence (0 = never)")
+	self := flag.String("self", "", "this node's base URL as it appears in -peers (empty = standalone)")
+	peers := flag.String("peers", "", "comma-separated fleet base URLs incl. -self (empty = standalone)")
+	replicas := flag.Int("replicas", 0, "copies of each result across the fleet (0 = 2, clamped to peers)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per peer on the hash ring (0 = default)")
+	maxHops := flag.Int("max-hops", 0, "proxy hop budget before serving locally (0 = default)")
+	outbox := flag.String("outbox", "auto", `durable replication outbox path ("auto" = <store>/outbox.journal, "off" = none)`)
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer replication/probe timeout (0 = default)")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "spurd: -jobs must be at least 1")
+		os.Exit(2)
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if (len(peerList) > 0) != (*self != "") {
+		fmt.Fprintln(os.Stderr, "spurd: -self and -peers must be set together")
 		os.Exit(2)
 	}
 	if err := faultinject.ArmCrashFromEnv(); err != nil {
@@ -69,10 +99,25 @@ func main() {
 	default:
 		journalPath = *jobsJournal
 	}
-	if journalPath != "" {
-		// The journal usually lives inside the store directory, which the
+	outboxPath := ""
+	if len(peerList) > 0 {
+		switch *outbox {
+		case "auto":
+			if *store != "" {
+				outboxPath = filepath.Join(*store, "outbox.journal")
+			}
+		case "off", "":
+		default:
+			outboxPath = *outbox
+		}
+	}
+	for _, p := range []string{journalPath, outboxPath} {
+		if p == "" {
+			continue
+		}
+		// The journals usually live inside the store directory, which the
 		// server only creates later; journal.Create needs the parent now.
-		if err := os.MkdirAll(filepath.Dir(journalPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
 			os.Exit(1)
 		}
@@ -80,13 +125,20 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
 	s, err := server.New(server.Config{
-		StoreDir:   *store,
-		MaxRun:     *jobs,
-		MaxQueue:   *queue,
-		Parallel:   *par,
-		JobJournal: journalPath,
-		ScrubEvery: *scrub,
-		Logf:       log.Printf,
+		StoreDir:    *store,
+		MaxRun:      *jobs,
+		MaxQueue:    *queue,
+		Parallel:    *par,
+		JobJournal:  journalPath,
+		ScrubEvery:  *scrub,
+		Self:        *self,
+		Peers:       peerList,
+		Replication: *replicas,
+		VNodes:      *vnodes,
+		MaxHops:     *maxHops,
+		Outbox:      outboxPath,
+		PeerTimeout: *peerTimeout,
+		Logf:        log.Printf,
 	})
 	if err != nil {
 		log.Fatalf("spurd: %v", err)
@@ -103,6 +155,9 @@ func main() {
 	// port 0 can discover where we landed.
 	log.Printf("spurd: listening on http://%s (store %q, %d jobs, queue %d)",
 		ln.Addr(), *store, *jobs, *queue)
+	if len(peerList) > 0 {
+		log.Printf("spurd: fleet member %s of %d peers", *self, len(peerList))
+	}
 
 	srv := &http.Server{Handler: s}
 	done := make(chan error, 1)

@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// This file is the durable half of replication. A node that computes a
+// result owes a copy to every other replica of the key; that debt must
+// survive the node crashing between the store write and the pushes. The
+// Outbox journals the intent (fsynced, before the computing handler
+// returns), a background sender retries each (key, replica) delivery until
+// the replica acknowledges, and deliveries are journaled as they land so a
+// restarted node resumes exactly the pushes it still owes. The blob bytes
+// themselves are not journaled twice — they already sit, crash-safe, in
+// the local result store, and the send callback rereads them.
+
+// outboxJournalKind is the journal.Header.Kind of a replication outbox.
+const outboxJournalKind = "spurd-outbox"
+
+// outboxRecord is one journal entry: a replication intent or a delivery.
+type outboxRecord struct {
+	// Op is "enq" (result stored locally, copies owed to Peers) or "sent"
+	// (Peer acknowledged the blob).
+	Op string `json:"op"`
+	// Key is the blob's content address in the result store.
+	Key string `json:"key"`
+	// Peers are the replicas owed a copy (enq records only).
+	Peers []string `json:"peers,omitempty"`
+	// Peer is the replica that acknowledged (sent records only).
+	Peer string `json:"peer,omitempty"`
+}
+
+// Outbox is a durable at-least-once replication queue. It is safe for
+// concurrent use; the background sender is its only goroutine.
+type Outbox struct {
+	send func(peer, key string) error
+	logf func(string, ...any)
+
+	mu      sync.Mutex
+	w       *journal.Writer            // nil for a memory-only outbox
+	pending map[string]map[string]bool // key -> replicas still owed
+
+	enqueued  atomic.Uint64
+	delivered atomic.Uint64
+	failed    atomic.Uint64
+
+	wake      chan struct{}
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// OpenOutbox opens (or creates) the replication outbox journaled at path
+// and starts its background sender. send pushes one blob to one peer and
+// returns nil only when the peer has acknowledged it. An empty path keeps
+// the queue in memory only (undelivered pushes die with the process —
+// tests and memory-only stores). A journal written by a different code
+// version is set aside (path+".stale"): its keys address a store keyed by
+// that version, not this one.
+func OpenOutbox(path, version string, send func(peer, key string) error, logf func(string, ...any)) (*Outbox, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	o := &Outbox{
+		send:    send,
+		logf:    logf,
+		pending: map[string]map[string]bool{},
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if path != "" {
+		w, err := openOutboxJournal(path, version, o, logf)
+		if err != nil {
+			return nil, err
+		}
+		o.w = w
+	}
+	go o.sender()
+	if len(o.pending) > 0 {
+		o.notify()
+	}
+	return o, nil
+}
+
+// openOutboxJournal creates or replays the journal at path, loading owed
+// deliveries into o.pending.
+func openOutboxJournal(path, version string, o *Outbox, logf func(string, ...any)) (*journal.Writer, error) {
+	hdr := journal.Header{Kind: outboxJournalKind, Version: version}
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return journal.Create(path, hdr)
+	}
+	rep, err := journal.Replay(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: outbox %s: %w", path, err)
+	}
+	if rep.Header.Kind != outboxJournalKind {
+		return nil, fmt.Errorf("cluster: %s is a %q journal, not an outbox", path, rep.Header.Kind)
+	}
+	if rep.Header.Version != version {
+		logf("cluster: outbox %s was written by version %q (this is %q); setting it aside", path, rep.Header.Version, version)
+		if err := os.Rename(path, path+".stale"); err != nil {
+			return nil, err
+		}
+		return journal.Create(path, hdr)
+	}
+	for i, b := range rep.Entries {
+		var r outboxRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return nil, fmt.Errorf("cluster: outbox %s record %d: %w", path, i, err)
+		}
+		switch r.Op {
+		case "enq":
+			set := o.pending[r.Key]
+			if set == nil {
+				set = map[string]bool{}
+				o.pending[r.Key] = set
+			}
+			for _, p := range r.Peers {
+				set[p] = true
+			}
+		case "sent":
+			if set := o.pending[r.Key]; set != nil {
+				delete(set, r.Peer)
+				if len(set) == 0 {
+					delete(o.pending, r.Key)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("cluster: outbox %s record %d: unknown op %q", path, i, r.Op)
+		}
+	}
+	w, _, err := journal.Open(path)
+	return w, err
+}
+
+// Enqueue records that key's blob is owed to peers and wakes the sender.
+// The intent is fsynced before Enqueue returns: once it does, the copies
+// will land even if this process dies immediately after.
+func (o *Outbox) Enqueue(key string, peers []string) error {
+	if len(peers) == 0 {
+		return nil
+	}
+	o.mu.Lock()
+	if o.w != nil {
+		b, err := json.Marshal(outboxRecord{Op: "enq", Key: key, Peers: peers})
+		if err != nil {
+			o.mu.Unlock()
+			return err
+		}
+		if err := o.w.Append(b); err != nil {
+			o.mu.Unlock()
+			return err
+		}
+	}
+	set := o.pending[key]
+	if set == nil {
+		set = map[string]bool{}
+		o.pending[key] = set
+	}
+	for _, p := range peers {
+		set[p] = true
+	}
+	o.mu.Unlock()
+	o.enqueued.Add(1)
+	o.notify()
+	return nil
+}
+
+// notify wakes the sender without blocking (a full wake channel means a
+// wake-up is already queued).
+func (o *Outbox) notify() {
+	select {
+	case o.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sender is the background delivery loop: drain everything pending, then
+// sleep until woken or, while deliveries keep failing (a replica is down),
+// until a capped exponential retry timer fires.
+func (o *Outbox) sender() {
+	defer close(o.done)
+	backoff := time.Duration(0)
+	for {
+		var timer <-chan time.Time
+		var t *time.Timer
+		if backoff > 0 {
+			t = time.NewTimer(backoff)
+			timer = t.C
+		}
+		select {
+		case <-o.stop:
+			if t != nil {
+				t.Stop()
+			}
+			return
+		case <-o.wake:
+			if t != nil {
+				t.Stop()
+			}
+		case <-timer:
+		}
+		if o.drain() {
+			backoff = 0
+			continue
+		}
+		// Something is still owed and its replica is unreachable; retry
+		// on a capped exponential schedule.
+		if backoff == 0 {
+			backoff = 250 * time.Millisecond
+		} else if backoff < 10*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// drain attempts every pending delivery once, in sorted order (determinism
+// of attempt order makes drills reproducible). It reports whether the
+// queue is empty afterwards.
+func (o *Outbox) drain() bool {
+	type pair struct{ key, peer string }
+	o.mu.Lock()
+	var work []pair
+	for k, set := range o.pending {
+		for p := range set {
+			work = append(work, pair{k, p})
+		}
+	}
+	o.mu.Unlock()
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].key != work[j].key {
+			return work[i].key < work[j].key
+		}
+		return work[i].peer < work[j].peer
+	})
+	for _, w := range work {
+		select {
+		case <-o.stop:
+			return false
+		default:
+		}
+		if err := o.send(w.peer, w.key); err != nil {
+			o.failed.Add(1)
+			o.logf("cluster: replicating %.12s to %s: %v", w.key, w.peer, err)
+			continue
+		}
+		o.settle(w.key, w.peer)
+	}
+	o.mu.Lock()
+	empty := len(o.pending) == 0
+	o.mu.Unlock()
+	return empty
+}
+
+// settle journals and forgets one acknowledged delivery.
+func (o *Outbox) settle(key, peer string) {
+	o.mu.Lock()
+	if o.w != nil {
+		if b, err := json.Marshal(outboxRecord{Op: "sent", Key: key, Peer: peer}); err == nil {
+			if jerr := o.w.Append(b); jerr != nil {
+				// The copy is delivered; worst case a restart re-pushes it
+				// and the replica's idempotent Put absorbs the duplicate.
+				o.logf("cluster: journaling delivery of %.12s to %s: %v", key, peer, jerr)
+			}
+		}
+	}
+	if set := o.pending[key]; set != nil {
+		delete(set, peer)
+		if len(set) == 0 {
+			delete(o.pending, key)
+		}
+	}
+	o.mu.Unlock()
+	o.delivered.Add(1)
+}
+
+// Stats snapshots the outbox for /healthz.
+func (o *Outbox) Stats() Stats {
+	o.mu.Lock()
+	pending := 0
+	for _, set := range o.pending {
+		pending += len(set)
+	}
+	o.mu.Unlock()
+	return Stats{
+		Enqueued:  o.enqueued.Load(),
+		Delivered: o.delivered.Load(),
+		Failed:    o.failed.Load(),
+		Pending:   pending,
+	}
+}
+
+// Flush blocks until the outbox is empty or the deadline passes, polling
+// the pending set. It is a test and drain helper, not a delivery
+// guarantee — an unreachable replica keeps the queue non-empty.
+func (o *Outbox) Flush(deadline time.Time) bool {
+	for {
+		o.mu.Lock()
+		empty := len(o.pending) == 0
+		o.mu.Unlock()
+		if empty {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		o.notify()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close stops the sender and closes the journal. Undelivered intents stay
+// journaled for the next process. It is idempotent.
+func (o *Outbox) Close() error {
+	var err error
+	o.closeOnce.Do(func() {
+		close(o.stop)
+		<-o.done
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if o.w != nil {
+			err = o.w.Close()
+		}
+	})
+	return err
+}

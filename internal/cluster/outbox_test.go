@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeSink records deliveries and can refuse a peer to simulate it being
+// down.
+type fakeSink struct {
+	mu   sync.Mutex
+	down map[string]bool
+	got  map[string][]string // key -> peers delivered to
+}
+
+func newFakeSink() *fakeSink {
+	return &fakeSink{down: map[string]bool{}, got: map[string][]string{}}
+}
+
+func (f *fakeSink) send(peer, key string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[peer] {
+		return errors.New("peer down")
+	}
+	f.got[key] = append(f.got[key], peer)
+	return nil
+}
+
+func (f *fakeSink) setDown(peer string, down bool) {
+	f.mu.Lock()
+	f.down[peer] = down
+	f.mu.Unlock()
+}
+
+func (f *fakeSink) deliveries(key string) []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.got[key]...)
+}
+
+func TestOutboxDeliversAndRetriesDownPeer(t *testing.T) {
+	sink := newFakeSink()
+	sink.setDown("http://n2", true)
+	o, err := OpenOutbox(filepath.Join(t.TempDir(), "outbox.journal"), "v", sink.send, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := o.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := o.Enqueue("k1", []string{"http://n1", "http://n2"}); err != nil {
+		t.Fatal(err)
+	}
+	// n1 gets its copy promptly; n2 stays pending.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sink.deliveries("k1")) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := sink.deliveries("k1"); len(got) != 1 || got[0] != "http://n1" {
+		t.Fatalf("deliveries = %v, want only n1 while n2 is down", got)
+	}
+	if st := o.Stats(); st.Pending != 1 {
+		t.Fatalf("pending = %d, want 1 (n2 owed)", st.Pending)
+	}
+	// n2 comes back; the retry loop finishes the job.
+	sink.setDown("http://n2", false)
+	if !o.Flush(time.Now().Add(5 * time.Second)) {
+		t.Fatalf("outbox never drained after n2 recovered: %+v", o.Stats())
+	}
+	if got := sink.deliveries("k1"); len(got) != 2 {
+		t.Fatalf("deliveries = %v, want both replicas", got)
+	}
+	if st := o.Stats(); st.Enqueued != 1 || st.Delivered != 2 || st.Failed == 0 {
+		t.Errorf("stats = %+v, want 1 enqueued, 2 delivered, >0 failed", st)
+	}
+}
+
+// TestOutboxResumesAcrossRestart is the durability contract: intents
+// journaled before a crash are delivered by the next process.
+func TestOutboxResumesAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.journal")
+	sink := newFakeSink()
+	sink.setDown("http://n2", true)
+
+	o, err := OpenOutbox(path, "v", sink.send, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Enqueue("k1", []string{"http://n1", "http://n2"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sink.deliveries("k1")) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := o.Close(); err != nil { // "crash" with n2 still owed
+		t.Fatal(err)
+	}
+
+	sink.setDown("http://n2", false)
+	o2, err := OpenOutbox(path, "v", sink.send, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := o2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !o2.Flush(time.Now().Add(5 * time.Second)) {
+		t.Fatalf("restarted outbox never delivered the owed copy: %+v", o2.Stats())
+	}
+	got := sink.deliveries("k1")
+	n2 := 0
+	for _, p := range got {
+		if p == "http://n2" {
+			n2++
+		}
+	}
+	if n2 != 1 {
+		t.Fatalf("deliveries after restart = %v, want exactly one to n2", got)
+	}
+	// The settled delivery to n1 must not be replayed.
+	n1 := 0
+	for _, p := range got {
+		if p == "http://n1" {
+			n1++
+		}
+	}
+	if n1 != 1 {
+		t.Fatalf("deliveries = %v, want the settled n1 push not re-sent", got)
+	}
+}
+
+// TestOutboxStaleVersionSetAside: an outbox journaled by another code
+// version addresses another store; it must be set aside, not replayed.
+func TestOutboxStaleVersionSetAside(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.journal")
+	sink := newFakeSink()
+	sink.setDown("http://n1", true)
+	o, err := OpenOutbox(path, "v1", sink.send, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Enqueue("k1", []string{"http://n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sink.setDown("http://n1", false)
+	o2, err := OpenOutbox(path, "v2", sink.send, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := o2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if st := o2.Stats(); st.Pending != 0 {
+		t.Fatalf("stale-version intent replayed: %+v", st)
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingPlacementIsDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"http://n1", "http://n2", "http://n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://n3", "http://n1", "http://n2", "http://n1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		ra, rb := a.Replicas(key, 2), b.Replicas(key, 2)
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("peer order changed placement for %s: %v vs %v", key, ra, rb)
+		}
+		if ra[0] != a.Owner(key) {
+			t.Fatalf("Replicas()[0] != Owner() for %s", key)
+		}
+	}
+}
+
+func TestRingReplicasAreDistinctAndClamped(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		reps := r.Replicas(key, 2)
+		if len(reps) != 2 || reps[0] == reps[1] {
+			t.Fatalf("replicas of %s not 2 distinct peers: %v", key, reps)
+		}
+		all := r.Replicas(key, 99)
+		if len(all) != 3 {
+			t.Fatalf("clamped replicas of %s = %v, want all 3 peers", key, all)
+		}
+		if !r.Owns(reps[0], key, 2) || !r.Owns(reps[1], key, 2) {
+			t.Fatalf("Owns disagrees with Replicas for %s", key)
+		}
+		for _, p := range []string{"a", "b", "c"} {
+			if p != reps[0] && p != reps[1] && r.Owns(p, key, 2) {
+				t.Fatalf("Owns(%s) true but not a replica of %s", p, key)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread ownership: with 3 peers no
+// peer should own a wildly disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for p, c := range counts {
+		if c < n/6 || c > n/2+n/10 {
+			t.Errorf("peer %s owns %d of %d keys — ring badly unbalanced: %v", p, c, n, counts)
+		}
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty peer name accepted")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 
@@ -90,6 +91,10 @@ type Stats struct {
 	// integrity passes over the backing directory.
 	Corrupt uint64 `json:"corrupt"`
 	Scrubs  uint64 `json:"scrubs"`
+	// Repaired counts blobs restored from a cluster replica (verified
+	// sealed envelopes accepted by PutSealed with repair=true) instead of
+	// being recomputed.
+	Repaired uint64 `json:"repaired"`
 	// Entries and Bytes describe the current LRU front.
 	Entries int `json:"entries"`
 	Bytes   int `json:"bytes"`
@@ -369,6 +374,133 @@ func (s *Store) admit(k Key, data []byte) {
 		s.bytes -= len(e.data)
 		s.stats.Evictions++
 	}
+}
+
+// Has reports whether the store holds a verified copy of k — in the LRU
+// front, or on disk with a valid envelope. A corrupt disk blob is
+// quarantined on the spot and reported as absent, so cluster repair treats
+// rot and loss identically.
+func (s *Store) Has(k Key) bool {
+	if !k.valid() {
+		return false
+	}
+	s.mu.Lock()
+	_, ok := s.index[k]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if s.dir == "" {
+		return false
+	}
+	raw, err := os.ReadFile(s.path(k))
+	if err != nil {
+		return false
+	}
+	if _, verr := openBlob(raw); verr != nil {
+		s.quarantine(k)
+		return false
+	}
+	return true
+}
+
+// Keys lists every key the store holds, sorted: the on-disk inventory plus
+// (for memory-only stores) the LRU front. It walks the shard directories,
+// so it is an anti-entropy/diagnostic call, not a hot-path one. Corruption
+// is not checked here — a corrupt blob is discovered and quarantined when
+// it is read.
+func (s *Store) Keys() []Key {
+	set := map[Key]bool{}
+	if s.dir != "" {
+		// The walk callback never returns an error; unreadable entries are
+		// simply skipped — the scrubber reports them.
+		_ = filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() || !strings.HasSuffix(path, ".json") {
+				return nil
+			}
+			if k := Key(strings.TrimSuffix(filepath.Base(path), ".json")); k.valid() {
+				set[k] = true
+			}
+			return nil
+		})
+	} else {
+		s.mu.Lock()
+		for k := range s.index {
+			set[k] = true
+		}
+		s.mu.Unlock()
+	}
+	keys := make([]Key, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GetSealed returns k's blob in its sealed on-disk envelope form, for
+// replica transfer: the receiver re-verifies the embedded payload hash
+// before accepting, so a byte flipped in transit (or on this node's disk)
+// can never propagate. Memory-only hits are sealed on the fly.
+func (s *Store) GetSealed(k Key) ([]byte, bool) {
+	if !k.valid() {
+		return nil, false
+	}
+	if s.dir != "" {
+		raw, err := os.ReadFile(s.path(k))
+		if err == nil {
+			if _, verr := openBlob(raw); verr == nil {
+				return raw, true
+			}
+			s.quarantine(k)
+			return nil, false
+		}
+	}
+	s.mu.Lock()
+	el, ok := s.index[k]
+	var data []byte
+	if ok {
+		data = el.Value.(*entry).data
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return sealBlob(data), true
+}
+
+// PutSealed stores a blob received in sealed envelope form, verifying the
+// embedded payload hash before anything touches disk. With repair=true the
+// accept is counted in Stats.Repaired — the cluster healed this blob from
+// a replica instead of recomputing it. Re-putting an existing key is a
+// no-op success, which makes replication pushes idempotent.
+func (s *Store) PutSealed(k Key, sealed []byte, repair bool) error {
+	if !k.valid() {
+		return fmt.Errorf("expstore: invalid key %q", k)
+	}
+	data, err := openBlob(sealed)
+	if err != nil {
+		return fmt.Errorf("expstore: put sealed %s: %w", k, err)
+	}
+	if s.dir != "" {
+		path := s.path(k)
+		if _, err := os.Stat(path); err != nil {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return fmt.Errorf("expstore: put sealed %s: %w", k, err)
+			}
+			if err := journal.WriteFileAtomic(path, sealed, 0o644); err != nil {
+				return fmt.Errorf("expstore: put sealed %s: %w", k, err)
+			}
+		}
+	}
+	s.mu.Lock()
+	s.stats.Puts++
+	if repair {
+		s.stats.Repaired++
+	}
+	s.admit(k, data)
+	s.mu.Unlock()
+	return nil
 }
 
 // Stats returns a snapshot of the counters.

@@ -24,7 +24,10 @@ var GoConfineAnalyzer = &Analyzer{
 var concurrencyPackages = map[string]bool{
 	"repro/internal/parallel": true,
 	"repro/internal/server":   true,
-	"repro/pkg/client":        true,
+	// internal/cluster owns the replication outbox's background sender —
+	// service plumbing, deliberately outside the deterministic model core.
+	"repro/internal/cluster": true,
+	"repro/pkg/client":       true,
 }
 
 func runGoConfine(p *Pass) {

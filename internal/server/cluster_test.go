@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	spur "repro"
+	"repro/internal/cluster"
+	"repro/internal/expstore"
+	"repro/pkg/client"
+)
+
+// drillClient makes the tests' direct HTTP calls. Keep-alives are off
+// because nodes are killed and restarted on the same address mid-test: a
+// pooled connection into the dead instance would surface as an EOF that
+// has nothing to do with the behavior under test.
+var drillClient = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+// testNode is one fleet member run in-process: a real Server behind a real
+// TCP listener, killable and restartable on the same address and store.
+type testNode struct {
+	t        *testing.T
+	url      string
+	addr     string
+	storeDir string
+	cfg      Config
+	srv      *Server
+	hs       *http.Server
+	computes atomic.Int64
+	done     chan struct{}
+}
+
+// start binds (or rebinds) the node's address and serves a fresh Server
+// over the node's persistent store and outbox journal.
+func (n *testNode) start(ln net.Listener) {
+	n.t.Helper()
+	if ln == nil {
+		var err error
+		if ln, err = net.Listen("tcp", n.addr); err != nil {
+			n.t.Fatalf("rebinding %s: %v", n.addr, err)
+		}
+	}
+	srv, err := New(n.cfg)
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	n.srv = srv
+	n.hs = &http.Server{Handler: srv}
+	n.done = make(chan struct{})
+	go func(hs *http.Server, done chan struct{}) {
+		defer close(done)
+		// ErrServerClosed is the normal kill path; anything else would
+		// surface as the test's requests failing.
+		_ = hs.Serve(ln)
+	}(n.hs, n.done)
+}
+
+// kill stops the node abruptly: listener and connections die mid-flight,
+// no drain. Journals stay on disk exactly as a crash would leave them.
+func (n *testNode) kill() {
+	n.t.Helper()
+	if err := n.hs.Close(); err != nil {
+		n.t.Logf("killing node %s: %v", n.url, err)
+	}
+	<-n.done
+	// The process would be gone after SIGKILL; releasing the journal file
+	// handles stands in for that so the restart can reopen them.
+	if err := n.srv.Close(); err != nil {
+		n.t.Logf("closing killed node %s: %v", n.url, err)
+	}
+}
+
+// wipeStore simulates losing the node's disk.
+func (n *testNode) wipeStore() {
+	n.t.Helper()
+	if err := os.RemoveAll(n.storeDir); err != nil {
+		n.t.Fatal(err)
+	}
+}
+
+// testCluster is a 3-node fleet plus the ring the tests use to predict
+// placement.
+type testCluster struct {
+	nodes []*testNode
+	urls  []string
+	ring  *cluster.Ring
+	rep   int
+}
+
+func startCluster(t *testing.T, n, replication int) *testCluster {
+	t.Helper()
+	// Peer URLs must be known before any node starts, so bind first.
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	ring, err := cluster.NewRing(urls, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{urls: urls, ring: ring, rep: replication}
+	for i := range urls {
+		node := &testNode{
+			t:        t,
+			url:      urls[i],
+			addr:     strings.TrimPrefix(urls[i], "http://"),
+			storeDir: t.TempDir(),
+		}
+		node.cfg = Config{
+			StoreDir:    node.storeDir,
+			Self:        node.url,
+			Peers:       urls,
+			Replication: replication,
+			Outbox:      node.storeDir + "/outbox.journal",
+			PeerTimeout: 2 * time.Second,
+			Logf: func(format string, args ...any) {
+				if strings.Contains(format, "computed") {
+					node.computes.Add(1)
+				}
+			},
+		}
+		node.start(lns[i])
+		tc.nodes = append(tc.nodes, node)
+		t.Cleanup(func() {
+			if err := node.hs.Close(); err == nil || err == http.ErrServerClosed {
+				_ = node.srv.Close()
+			}
+		})
+	}
+	return tc
+}
+
+func (tc *testCluster) node(url string) *testNode {
+	for _, n := range tc.nodes {
+		if n.url == url {
+			return n
+		}
+	}
+	tc.nodes[0].t.Fatalf("no node at %s", url)
+	return nil
+}
+
+// placement returns (replica URLs owner-first, one non-replica URL) for a
+// key, skipping t if the replication factor leaves no non-replica.
+func (tc *testCluster) placement(key expstore.Key) (replicas []string, outsider string) {
+	replicas = tc.ring.Replicas(string(key), tc.rep)
+	for _, u := range tc.urls {
+		in := false
+		for _, r := range replicas {
+			if r == u {
+				in = true
+			}
+		}
+		if !in {
+			return replicas, u
+		}
+	}
+	return replicas, ""
+}
+
+// sweepKey computes the store key for a sweep request exactly as the
+// server does (Format stripped).
+func sweepKey(t *testing.T, req client.SweepRequest) expstore.Key {
+	t.Helper()
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	req.Format = ""
+	key, err := expstore.KeyOf(spur.Version, "sweep", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func testSweepReq(seed uint64) client.SweepRequest {
+	return client.SweepRequest{
+		Workloads: []string{"SLC"},
+		SizesMB:   []int{2, 3},
+		Policies:  []string{"MISS"},
+		Refs:      testRefs / 4,
+		Seed:      seed,
+	}
+}
+
+// rawSweep posts a sweep straight at one node (no client retries) and
+// returns body + the node that served it.
+func rawSweep(t *testing.T, url string, req client.SweepRequest, hops int) (body []byte, servedBy string, status int) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/sweep", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if hops >= 0 {
+		hreq.Header.Set("X-Spur-Hops", fmt.Sprint(hops))
+	}
+	resp, err := drillClient.Do(hreq)
+	if err != nil {
+		t.Fatalf("POST %s/v1/sweep: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), resp.Header.Get("X-Spur-Node"), resp.StatusCode
+}
+
+// waitReplicated polls until every replica of key holds the blob (the
+// outbox delivers asynchronously) or the deadline passes.
+func (tc *testCluster) waitReplicated(t *testing.T, key expstore.Key) {
+	t.Helper()
+	replicas, _ := tc.placement(key)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, u := range replicas {
+			if !tc.node(u).srv.Store().Has(key) {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("blob %.12s not on all replicas %v within deadline", key, replicas)
+}
+
+func TestClusterProxyRoutesToReplica(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	req := testSweepReq(11)
+	key := sweepKey(t, req)
+	replicas, outsider := tc.placement(key)
+	if outsider == "" {
+		t.Fatal("replication 2 of 3 must leave one non-replica")
+	}
+
+	body, servedBy, status := rawSweep(t, outsider, req, -1)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if servedBy != replicas[0] {
+		t.Errorf("served by %s, want owner %s (via proxy from %s)", servedBy, replicas[0], outsider)
+	}
+	if tc.node(outsider).computes.Load() != 0 {
+		t.Error("non-replica computed instead of proxying")
+	}
+	tc.waitReplicated(t, key)
+	if tc.node(outsider).srv.Store().Has(key) {
+		t.Error("non-replica ended up holding the blob")
+	}
+}
+
+func TestClusterHopBudgetServesLocally(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	req := testSweepReq(12)
+	key := sweepKey(t, req)
+	_, outsider := tc.placement(key)
+
+	// A request arriving with the hop budget already spent must not be
+	// forwarded again — the node computes locally and says so.
+	body, servedBy, status := rawSweep(t, outsider, req, 2)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if servedBy != outsider {
+		t.Errorf("served by %s, want local serve on %s after hop budget", servedBy, outsider)
+	}
+	if tc.node(outsider).computes.Load() == 0 {
+		t.Error("hop-exhausted node did not compute locally")
+	}
+}
+
+func TestClusterAllReplicasDownComputesLocally(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	req := testSweepReq(13)
+	key := sweepKey(t, req)
+	replicas, outsider := tc.placement(key)
+	for _, u := range replicas {
+		tc.node(u).kill()
+	}
+
+	body, servedBy, status := rawSweep(t, outsider, req, -1)
+	if status != http.StatusOK {
+		t.Fatalf("status %d with replicas down: %s", status, body)
+	}
+	if servedBy != outsider {
+		t.Errorf("served by %s, want availability-first local compute on %s", servedBy, outsider)
+	}
+}
+
+func TestClusterHealthzReportsFleet(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	c := client.New(tc.urls[0])
+	c.Retries = -1
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil {
+		t.Fatal("clustered /healthz has no cluster section")
+	}
+	if h.Cluster.Self != tc.urls[0] || h.Cluster.Peers != 3 || h.Cluster.Replication != 2 {
+		t.Errorf("cluster stats %+v, want self=%s peers=3 replication=2", h.Cluster, tc.urls[0])
+	}
+	if h.Version != spur.Version {
+		t.Errorf("healthz version %q, want %q", h.Version, spur.Version)
+	}
+}
+
+func TestClusterMembershipEndpoint(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	tc.nodes[2].kill()
+
+	resp, err := drillClient.Get(tc.urls[0] + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info cluster.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Self != tc.urls[0] || len(info.Peers) != 3 {
+		t.Fatalf("membership %+v, want self + 3 peers", info)
+	}
+	status := map[string]string{}
+	for _, p := range info.Peers {
+		status[p.URL] = p.Status
+	}
+	if status[tc.urls[0]] != "self" || status[tc.urls[1]] != "ok" || status[tc.urls[2]] != "down" {
+		t.Errorf("peer status %v, want self/ok/down", status)
+	}
+}
+
+func TestClusterRepairWithoutRecompute(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	req := testSweepReq(14)
+	key := sweepKey(t, req)
+	replicas, _ := tc.placement(key)
+	owner := tc.node(replicas[0])
+
+	want, _, status := rawSweep(t, owner.url, req, -1)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	tc.waitReplicated(t, key)
+
+	// The second replica loses its disk and restarts empty.
+	victim := tc.node(replicas[1])
+	victim.kill()
+	victim.wipeStore()
+	victim.start(nil)
+	if victim.srv.Store().Has(key) {
+		t.Fatal("wiped node still has the blob")
+	}
+
+	// One on-demand scrub+repair pass must refill it from the owner —
+	// hash-verified, counted, and with zero simulator work.
+	resp, err := drillClient.Post(victim.url+"/v1/cluster/scrub", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep struct {
+		Scrub  expstore.ScrubReport `json:"scrub"`
+		Repair RepairReport         `json:"repair"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repair.Repaired == 0 {
+		t.Fatalf("repair pass restored nothing: %+v", rep.Repair)
+	}
+	if !victim.srv.Store().Has(key) {
+		t.Fatal("blob not restored on the wiped replica")
+	}
+	if got := victim.srv.Store().Stats().Repaired; got == 0 {
+		t.Error("store Repaired counter not bumped")
+	}
+	if victim.computes.Load() != 0 {
+		t.Error("repair recomputed instead of fetching from a replica")
+	}
+
+	// And the repaired bytes answer requests byte-identically.
+	got, _, status := rawSweep(t, victim.url, req, -1)
+	if status != http.StatusOK {
+		t.Fatalf("status %d after repair", status)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("repaired node serves different bytes than the original compute")
+	}
+	if victim.computes.Load() != 0 {
+		t.Error("serving the repaired blob burned simulator cycles")
+	}
+}
+
+// TestClusterKillDrill is the acceptance drill: three nodes, live load, one
+// node killed mid-drill. Every request — before, during, after — completes,
+// repeated requests return byte-identical bodies, and the restarted node is
+// healed from its replicas without recomputing anything.
+func TestClusterKillDrill(t *testing.T) {
+	tc := startCluster(t, 3, 2)
+	fleet, err := client.NewFleet(tc.urls, client.FleetOptions{Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Template.Backoff = 5 * time.Millisecond
+	fleet.Template.MaxBackoff = 50 * time.Millisecond
+
+	ctx := context.Background()
+	seeds := []uint64{21, 22, 23, 24}
+	baseline := map[uint64][]byte{}
+	for _, seed := range seeds {
+		body, _, err := fleet.Sweep(ctx, testSweepReq(seed))
+		if err != nil {
+			t.Fatalf("baseline sweep seed %d: %v", seed, err)
+		}
+		baseline[seed] = body
+	}
+	for _, seed := range seeds {
+		tc.waitReplicated(t, sweepKey(t, testSweepReq(seed)))
+	}
+
+	// Kill one replica-holding node mid-drill.
+	victim := tc.node(tc.ring.Replicas(string(sweepKey(t, testSweepReq(seeds[0]))), 2)[0])
+	victim.kill()
+
+	// The degraded fleet still answers everything: the old seeds
+	// byte-identically (from surviving replicas), and brand-new work too.
+	newSeeds := []uint64{25, 26}
+	for _, seed := range seeds {
+		body, _, err := fleet.Sweep(ctx, testSweepReq(seed))
+		if err != nil {
+			t.Fatalf("degraded sweep seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(body, baseline[seed]) {
+			t.Errorf("seed %d: degraded fleet returned different bytes", seed)
+		}
+	}
+	for _, seed := range newSeeds {
+		body, _, err := fleet.Sweep(ctx, testSweepReq(seed))
+		if err != nil {
+			t.Fatalf("sweep seed %d with a node down: %v", seed, err)
+		}
+		baseline[seed] = body
+	}
+
+	// Restart the victim on its old store and scrub: anything it now owes
+	// (computed while it was dead) is pulled from replicas, not recomputed.
+	victim.start(nil)
+	computesBefore := victim.computes.Load()
+	resp, err := drillClient.Post(victim.url+"/v1/cluster/scrub", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if victim.computes.Load() != computesBefore {
+		t.Error("post-restart repair recomputed results")
+	}
+	for seed := range baseline {
+		key := sweepKey(t, testSweepReq(seed))
+		if tc.ring.Owns(victim.url, string(key), 2) && !victim.srv.Store().Has(key) {
+			t.Errorf("restarted node missing replica blob for seed %d", seed)
+		}
+	}
+
+	// Whole-fleet replay: every node, every seed, byte-identical.
+	for _, seed := range append(seeds, newSeeds...) {
+		body, _, err := fleet.Sweep(ctx, testSweepReq(seed))
+		if err != nil {
+			t.Fatalf("healed-fleet sweep seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(body, baseline[seed]) {
+			t.Errorf("seed %d: healed fleet returned different bytes", seed)
+		}
+	}
+}

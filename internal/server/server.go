@@ -31,6 +31,7 @@ import (
 	"time"
 
 	spur "repro"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expstore"
 	"repro/internal/report"
@@ -63,7 +64,34 @@ type Config struct {
 	JobJournal string
 	// ScrubEvery, when positive, runs a background store integrity pass
 	// (expstore.Scrub) at that cadence, quarantining bit-rotted blobs.
+	// In cluster mode each pass is followed by replica repair
+	// (RepairFromPeers), so a node heals from its peers before anything
+	// recomputes.
 	ScrubEvery time.Duration
+
+	// Self and Peers turn the node into a cluster member: Self is this
+	// node's advertised base URL and must appear in Peers, the full static
+	// membership (every node gets the same list; order does not matter).
+	// An empty Peers list runs the classic single-node daemon.
+	Self  string
+	Peers []string
+	// Replication is how many nodes hold each result (owner + M−1
+	// replicas; default 2, clamped to the peer count).
+	Replication int
+	// VNodes is the virtual-node count per peer on the placement ring
+	// (default cluster.DefaultVNodes).
+	VNodes int
+	// MaxHops bounds proxy forwarding so inconsistent peer lists degrade
+	// into local computes instead of forwarding loops (default 2).
+	MaxHops int
+	// Outbox journals replication debts durably ("" = in-memory outbox:
+	// pushes pending at a crash are healed later by scrub repair).
+	Outbox string
+	// PeerTimeout bounds peer probes and blob transfers (default 5s).
+	// Proxied requests are bounded by the requester's context instead —
+	// a forwarded compute legitimately takes as long as a local one.
+	PeerTimeout time.Duration
+
 	// Logf, when set, receives one line per computed (not cached) job.
 	Logf func(format string, args ...any)
 }
@@ -83,6 +111,20 @@ func (c Config) fill() Config {
 	if c.Version == "" {
 		c.Version = spur.Version
 	}
+	if len(c.Peers) > 0 {
+		if c.Replication <= 0 {
+			c.Replication = 2
+		}
+		if c.Replication > len(c.Peers) {
+			c.Replication = len(c.Peers)
+		}
+		if c.MaxHops <= 0 {
+			c.MaxHops = 2
+		}
+		if c.PeerTimeout <= 0 {
+			c.PeerTimeout = 5 * time.Second
+		}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -96,6 +138,7 @@ type Server struct {
 	q        *queue
 	fl       *flight
 	jobs     *jobLog
+	cluster  *clusterNode
 	mux      *http.ServeMux
 	start    time.Time
 	draining atomic.Bool
@@ -131,6 +174,23 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.jobs = jobs
 	}
+	if len(cfg.Peers) > 0 {
+		node, err := newClusterNode(cfg)
+		if err != nil {
+			return nil, err
+		}
+		outbox, err := cluster.OpenOutbox(cfg.Outbox, cfg.Version, s.sendBlob, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		node.outbox = outbox
+		s.cluster = node
+		s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+		s.mux.HandleFunc("GET /v1/cluster/keys", s.handleClusterKeys)
+		s.mux.HandleFunc("GET /v1/cluster/blob/{key}", s.handleBlobGet)
+		s.mux.HandleFunc("PUT /v1/cluster/blob/{key}", s.handleBlobPut)
+		s.mux.HandleFunc("POST /v1/cluster/scrub", s.handleClusterScrub)
+	}
 	if cfg.ScrubEvery > 0 {
 		s.stopScrub = make(chan struct{})
 		go s.scrubLoop()
@@ -162,8 +222,15 @@ func (s *Server) Close() error {
 		if s.stopScrub != nil {
 			close(s.stopScrub)
 		}
+		if s.cluster != nil && s.cluster.outbox != nil {
+			if oerr := s.cluster.outbox.Close(); oerr != nil {
+				err = oerr
+			}
+		}
 		if s.jobs != nil {
-			err = s.jobs.close()
+			if jerr := s.jobs.close(); jerr != nil {
+				err = jerr
+			}
 		}
 	})
 	return err
@@ -182,6 +249,12 @@ func (s *Server) scrubLoop() {
 			rep := s.store.Scrub()
 			if rep.Quarantined > 0 || rep.Errors > 0 {
 				s.cfg.Logf("spurd: scrub: %d blobs scanned, %d quarantined, %d unreadable", rep.Scanned, rep.Quarantined, rep.Errors)
+			}
+			// In cluster mode the scrub's second half refills what the
+			// first half (or a crash) removed — from replicas, not the
+			// simulator.
+			if s.cluster != nil {
+				s.RepairFromPeers(context.Background())
 			}
 		}
 	}
@@ -207,6 +280,16 @@ func (s *Server) memoize(ctx context.Context, key expstore.Key, kind string, spe
 	if data, ok := s.store.Get(key); ok {
 		return data, true, nil
 	}
+	// Repair before recompute: a clustered node missing a blob (never
+	// computed here, lost to a crash, or quarantined as corrupt) first
+	// asks the key's other replicas, verifying the sealed envelope before
+	// trusting anything. Only when no replica can produce the bytes does
+	// the simulator run.
+	if s.cluster != nil {
+		if data, ok := s.fetchFromReplicas(ctx, key); ok {
+			return data, true, nil
+		}
+	}
 	data, _, err = s.fl.do(ctx, key, func() ([]byte, error) {
 		release, err := s.q.acquire(ctx)
 		if err != nil {
@@ -226,6 +309,11 @@ func (s *Server) memoize(ctx context.Context, key expstore.Key, kind string, spe
 				// store, so a restart should recompute and re-persist it.
 				persisted = false
 				s.cfg.Logf("spurd: store put %s: %v", key, perr)
+			} else {
+				// The durable replication debt is journaled before the
+				// response leaves: a crash right here still gets the blob
+				// onto every replica.
+				s.replicate(key)
 			}
 		}
 		if s.jobs != nil && persisted {
@@ -258,6 +346,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key, err := expstore.KeyOf(s.cfg.Version, "run", req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.proxyIfRemote(w, r, key, req) {
 		return
 	}
 	data, cached, err := s.memoize(r.Context(), key, "run", req, s.runJob(key, req))
@@ -349,6 +440,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key, err := expstore.KeyOf(s.cfg.Version, "sweep", keyReq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The proxied body keeps Format: the key ignores presentation, the
+	// serving node must not.
+	if s.proxyIfRemote(w, r, key, req) {
 		return
 	}
 	data, cached, err := s.memoize(r.Context(), key, "sweep", keyReq, s.sweepJob(key, req))
@@ -445,6 +541,9 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	key, err := expstore.KeyOf(s.cfg.Version, "tables/"+id, q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.proxyIfRemote(w, r, key, nil) {
 		return
 	}
 	data, cached, err := s.memoize(r.Context(), key, "tables/"+id, q, s.tablesJob(key, id, q))
@@ -562,6 +661,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.jobs != nil {
 		h.Jobs = s.jobs.stats()
+	}
+	if c := s.cluster; c != nil {
+		h.Cluster = &client.ClusterStats{
+			Self:        c.self,
+			Peers:       len(c.ring.Peers()),
+			Replication: c.rep,
+			Outbox:      c.outbox.Stats(),
+		}
 	}
 	writeJSON(w, h)
 }

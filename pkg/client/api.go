@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expstore"
 	"repro/internal/faultinject"
@@ -325,8 +326,25 @@ type Health struct {
 	// Jobs snapshots the durable job journal; nil when the daemon runs
 	// without one.
 	Jobs *JobsStats `json:"jobs,omitempty"`
+	// Cluster snapshots fleet membership and the replication outbox; nil
+	// for single-node daemons.
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 	// Uptime is the daemon's age.
 	Uptime Duration `json:"uptime"`
+}
+
+// ClusterStats is the /healthz cluster section: enough node state for
+// drills and load tests to assert on (the full probed membership view
+// lives at GET /v1/cluster).
+type ClusterStats struct {
+	// Self is this node's advertised URL; Peers the static fleet size;
+	// Replication the per-key replica count.
+	Self        string `json:"self"`
+	Peers       int    `json:"peers"`
+	Replication int    `json:"replication"`
+	// Outbox is the replication queue: its Pending field is the
+	// undelivered (key, replica) backlog.
+	Outbox cluster.Stats `json:"outbox"`
 }
 
 // JobsStats snapshots the daemon's durable job journal.

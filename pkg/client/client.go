@@ -171,6 +171,14 @@ func (c *Client) do(ctx context.Context, method, path string, in any) ([]byte, h
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		// An expired caller gets its context error immediately — never a
+		// doomed network attempt.
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
+			return nil, nil, err
+		}
 		body, header, retryable, err := c.once(ctx, s.httpClient, method, path, payload)
 		if err == nil {
 			return body, header, nil
@@ -192,6 +200,13 @@ func (c *Client) do(ctx context.Context, method, path string, in any) ([]byte, h
 		}
 		// Full jitter keeps a fleet of retrying clients from stampeding.
 		delay = time.Duration(float64(delay) * (0.5 + 0.5*rand.Float64()))
+		// No retry sleep may outlive the caller's context: a backoff that
+		// cannot finish before the deadline is not started at all — the
+		// caller gets the real last error now instead of a guaranteed
+		// DeadlineExceeded later.
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
+			return nil, nil, fmt.Errorf("%w (retry abandoned: %v backoff would outlive the context deadline)", lastErr, delay)
+		}
 		// A stoppable timer (not time.After) so a cancelled caller returns
 		// promptly without leaving the timer allocated until it fires —
 		// long Retry-After waits would otherwise pin memory per retry.

@@ -167,6 +167,32 @@ func TestPromptCancelMidBackoff(t *testing.T) {
 	}
 }
 
+func TestBackoffNeverOutlivesDeadline(t *testing.T) {
+	// The first attempt fails retryably, and the next backoff could not
+	// possibly finish before the caller's deadline. The client must refuse
+	// to start that sleep and hand back the real error immediately — not
+	// doze until DeadlineExceeded.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Backoff = time.Hour
+	c.MaxBackoff = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Run(ctx, RunRequest{Refs: 1})
+	elapsed := time.Since(start)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the 503 that made retrying pointless", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("abandoning the doomed backoff took %s, want immediate return", elapsed)
+	}
+}
+
 func TestConcurrentUseOfSharedClient(t *testing.T) {
 	// One Client, many goroutines: settings are computed per call, never
 	// written back, so this must be race-clean (run with -race).

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	spur "repro"
+	"repro/internal/cluster"
+	"repro/internal/expstore"
+)
+
+// Fleet is the cluster-aware client: it knows the spurd fleet's static
+// peer list, computes each request's content address locally with the same
+// hash the daemons use, talks straight to the key's owner, and on
+// timeout/transport failure/5xx fails over through the replica list. The
+// usual single-node retry/backoff (with jitter and Retry-After handling)
+// still applies per peer, just with a lower default retry budget so a dead
+// owner costs milliseconds, not a full backoff ladder.
+//
+// A Fleet is safe for concurrent use after New; do not mutate its fields
+// once requests are in flight.
+type Fleet struct {
+	// Template carries the per-peer HTTP settings (HTTPClient, Backoff,
+	// MaxBackoff, Retries). Its BaseURL is ignored; Retries defaults to 1
+	// per peer — failing over beats backing off when there are replicas.
+	Template Client
+
+	peers   []string
+	rep     int
+	version string
+	ring    *cluster.Ring
+}
+
+// FleetOptions tunes NewFleet.
+type FleetOptions struct {
+	// Replication must match the fleet's -replicas setting (default 2,
+	// clamped to the peer count); VNodes its -vnodes (default
+	// cluster.DefaultVNodes). A mismatch is not fatal — the daemons proxy
+	// misrouted requests — it just costs a hop.
+	Replication int
+	VNodes      int
+	// Version overrides the code version hashed into store keys (default
+	// spur.Version, which is correct when client and daemons are built
+	// from the same tree).
+	Version string
+}
+
+// NewFleet builds a fleet client over the peer base URLs.
+func NewFleet(peers []string, opts FleetOptions) (*Fleet, error) {
+	ring, err := cluster.NewRing(peers, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rep := opts.Replication
+	if rep <= 0 {
+		rep = 2
+	}
+	if n := len(ring.Peers()); rep > n {
+		rep = n
+	}
+	version := opts.Version
+	if version == "" {
+		version = spur.Version
+	}
+	return &Fleet{peers: ring.Peers(), rep: rep, version: version, ring: ring}, nil
+}
+
+// Peers returns the fleet's sorted peer list.
+func (f *Fleet) Peers() []string { return append([]string(nil), f.peers...) }
+
+// Replicas returns the peers responsible for key, owner first — the order
+// requests for that key are attempted in.
+func (f *Fleet) Replicas(key string) []string { return f.ring.Replicas(key, f.rep) }
+
+// peerClient instantiates the template against one peer.
+func (f *Fleet) peerClient(peer string) *Client {
+	c := f.Template
+	c.BaseURL = peer
+	if c.Retries == 0 {
+		c.Retries = 1
+	}
+	return &c
+}
+
+// authoritative reports whether err is a real answer (a 4xx other than
+// 429: bad request, unknown table, ...) rather than an availability
+// failure worth failing over.
+func authoritative(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code/100 == 4 && se.Code != http.StatusTooManyRequests
+}
+
+// failover runs try against each of key's replicas in placement order
+// until one answers. Authoritative errors return immediately; when every
+// replica is down the caller gets one clear error naming them all.
+func (f *Fleet) failover(ctx context.Context, key expstore.Key, try func(c *Client) error) error {
+	replicas := f.Replicas(string(key))
+	var errs []error
+	for _, peer := range replicas {
+		err := try(f.peerClient(peer))
+		if err == nil {
+			return nil
+		}
+		if authoritative(err) {
+			return err
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", peer, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return fmt.Errorf("fleet: all %d replicas of %.12s unreachable: %w", len(replicas), key, errors.Join(errs...))
+}
+
+// Run executes one simulator run against the key's owner, failing over
+// through its replicas.
+func (f *Fleet) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
+	if err := req.Normalize(); err != nil {
+		return nil, err
+	}
+	key, err := expstore.KeyOf(f.version, "run", req)
+	if err != nil {
+		return nil, err
+	}
+	var resp *RunResponse
+	err = f.failover(ctx, key, func(c *Client) error {
+		r, err := c.Run(ctx, req)
+		if err == nil {
+			resp = r
+		}
+		return err
+	})
+	return resp, err
+}
+
+// Sweep executes the memory-size study against the key's owner, failing
+// over through its replicas.
+func (f *Fleet) Sweep(ctx context.Context, req SweepRequest) ([]byte, SweepMeta, error) {
+	if err := req.Normalize(); err != nil {
+		return nil, SweepMeta{}, err
+	}
+	// Format is presentation only and excluded from the content address,
+	// exactly as the server strips it.
+	keyReq := req
+	keyReq.Format = ""
+	key, err := expstore.KeyOf(f.version, "sweep", keyReq)
+	if err != nil {
+		return nil, SweepMeta{}, err
+	}
+	var body []byte
+	var meta SweepMeta
+	err = f.failover(ctx, key, func(c *Client) error {
+		b, m, err := c.Sweep(ctx, req)
+		if err == nil {
+			body, meta = b, m
+		}
+		return err
+	})
+	return body, meta, err
+}
+
+// Tables fetches one paper artifact against the key's owner, failing over
+// through its replicas.
+func (f *Fleet) Tables(ctx context.Context, id string, q TablesQuery) (*TablesResponse, error) {
+	if err := q.Normalize(); err != nil {
+		return nil, err
+	}
+	key, err := expstore.KeyOf(f.version, "tables/"+id, q)
+	if err != nil {
+		return nil, err
+	}
+	var resp *TablesResponse
+	err = f.failover(ctx, key, func(c *Client) error {
+		r, err := c.Tables(ctx, id, q)
+		if err == nil {
+			resp = r
+		}
+		return err
+	})
+	return resp, err
+}
+
+// Health fetches every peer's /healthz; unreachable peers get a nil entry
+// and an error in the second slice (indexed like Peers()).
+func (f *Fleet) Health(ctx context.Context) ([]*Health, []error) {
+	hs := make([]*Health, len(f.peers))
+	errs := make([]error, len(f.peers))
+	for i, peer := range f.peers {
+		hs[i], errs[i] = f.peerClient(peer).Health(ctx)
+	}
+	return hs, errs
+}
