@@ -96,6 +96,14 @@ func parseRecord(path string) (map[string]float64, error) {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, core.MiB(1)), core.MiB(1))
+	// test2json does not respect line boundaries: a benchmark result is
+	// often split across events (the name fragment ends in "\t", the
+	// iteration count and ns/op arrive in the next event). Events of one
+	// output line are contiguous — benchmarks run sequentially — so
+	// concatenating Output fields and re-splitting on newlines recovers
+	// the classic result lines exactly. Parsing events one at a time
+	// instead silently dropped every benchmark whose line was split.
+	pending := ""
 	for sc.Scan() {
 		line := sc.Text()
 		// In -json mode each output line arrives wrapped in a test2json
@@ -108,11 +116,25 @@ func parseRecord(path string) (map[string]float64, error) {
 			if ev.Action != "output" {
 				continue
 			}
-			line = strings.TrimSuffix(ev.Output, "\n")
+			pending += ev.Output
+			for {
+				nl := strings.IndexByte(pending, '\n')
+				if nl < 0 {
+					break
+				}
+				if b, ok := parseBenchLine(pending[:nl]); ok {
+					out[b.name] = b.nsOp
+				}
+				pending = pending[nl+1:]
+			}
+			continue
 		}
 		if b, ok := parseBenchLine(line); ok {
 			out[b.name] = b.nsOp
 		}
+	}
+	if b, ok := parseBenchLine(pending); ok {
+		out[b.name] = b.nsOp
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	cases := []struct {
@@ -20,6 +24,47 @@ func TestParseBenchLine(t *testing.T) {
 		if ok != c.ok || b.name != c.name || b.nsOp != c.ns {
 			t.Errorf("parseBenchLine(%q) = %+v, %v; want name=%q ns=%v ok=%v",
 				c.line, b, ok, c.name, c.ns, c.ok)
+		}
+	}
+}
+
+// TestParseRecordStitchesSplitEvents reproduces test2json's habit of
+// splitting one benchmark result line across multiple output events: the
+// name fragment ends in a tab and the numbers arrive in the next event,
+// sometimes with unrelated events in between. A line-at-a-time parser
+// silently drops every benchmark split this way — which is most of them.
+func TestParseRecordStitchesSplitEvents(t *testing.T) {
+	record := `{"Action":"start","Package":"repro"}
+{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"output","Test":"BenchmarkSplit/par1","Output":"BenchmarkSplit/par1         \t"}
+{"Action":"output","Test":"BenchmarkSplit/par1","Output":"       1\t1352597629 ns/op\t       588.0 pageins\n"}
+{"Action":"run","Test":"BenchmarkSplit/par2"}
+{"Action":"output","Test":"BenchmarkSplit/par2","Output":"BenchmarkSplit/par2-8 \t"}
+{"Action":"output","Test":"BenchmarkSplit/par2","Output":"       2\t"}
+{"Action":"output","Test":"BenchmarkSplit/par2","Output":"1304907019 ns/op\n"}
+{"Action":"output","Test":"BenchmarkWhole","Output":"BenchmarkWhole-8   10  42 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+{"Action":"pass","Package":"repro"}
+`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(record), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSplit/par1": 1352597629,
+		"BenchmarkSplit/par2": 1304907019,
+		"BenchmarkWhole":      42,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks %v, want %d", len(got), got, len(want))
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v ns/op, want %v", name, got[name], ns)
 		}
 	}
 }

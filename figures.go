@@ -31,10 +31,9 @@ func Figure31() string {
 	b.WriteString("Figure 3.1: Example of Multiple Cache Blocks (live run, FAULT policy)\n\n")
 	step := func(format string, args ...any) { fmt.Fprintf(&b, "  %s\n", fmt.Sprintf(format, args...)) }
 
-	line := func(i int) *cache.Line { return m.Cache.Probe(blk(i).Block()) }
 	prot := func(i int) pte.Prot {
-		if l := line(i); l != nil {
-			return l.Prot
+		if l, ok := m.Cache.Probe(blk(i).Block()); ok {
+			return l.Prot()
 		}
 		return pte.ProtNone
 	}

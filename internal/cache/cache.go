@@ -10,6 +10,15 @@
 // paper: the PTE can change while blocks are resident, leaving stale cached
 // protection (excess faults under the FAULT policy) or a stale cached page
 // dirty bit (dirty-bit misses under the SPUR policy).
+//
+// The line state is stored flat, exactly as the hardware does: a tag array
+// indexed by line frame, and one packed byte per frame holding the whole
+// Figure 3.2b record (coherency state, protection, both dirty bits, plus the
+// simulator's two bookkeeping flags). The probe-hit path — the single most
+// executed code in the simulator — is then two array loads and a compare,
+// with no per-line struct to copy. Callers hold a LineRef, a tiny index
+// handle whose getters and setters read and write the packed arrays
+// directly.
 package cache
 
 import (
@@ -21,7 +30,10 @@ import (
 	"repro/internal/pte"
 )
 
-// Line is one cache block frame.
+// Line is a decoded snapshot of one cache block frame (Figure 3.2b). The
+// cache does not store Lines; it stores the packed arrays below. Line exists
+// as the inspection view for audits, dumps and tests — mutate through
+// LineRef, not through a Line copy.
 type Line struct {
 	// Addr is the global virtual block address held, valid only when
 	// State.Valid().
@@ -47,11 +59,53 @@ type Line struct {
 }
 
 // Valid reports whether the line holds a block.
-func (l *Line) Valid() bool { return l.State.Valid() }
+func (l Line) Valid() bool { return l.State.Valid() }
 
-// needsWriteBack reports whether replacing the line requires a memory write.
-func (l *Line) needsWriteBack() bool {
-	return l.State.Valid() && (l.BlockDirty || l.State.Owned())
+// The per-line metadata byte. The coherency state occupies the low bits so
+// that a zero byte is exactly an Invalid, empty frame — clearing a line is
+// storing zero.
+const (
+	metaStateMask  = 0b0000_0011 // coherence.State (Invalid = 0)
+	metaProtShift  = 2
+	metaProtMask   = 0b0000_1100 // pte.Prot
+	metaBlockDirty = 1 << 4
+	metaPageDirty  = 1 << 5
+	metaIsPTE      = 1 << 6
+	metaByWrite    = 1 << 7
+)
+
+func init() {
+	// The packing gives two bits each to the coherency state and the
+	// protection field, as the hardware tag does; fail at startup if either
+	// enum ever outgrows them.
+	if coherence.OwnedExclusive > 3 || pte.ProtKernel > 3 {
+		panic("cache: state or protection no longer fits its 2-bit meta field")
+	}
+}
+
+// packMeta encodes a line's non-tag state into one byte.
+func packMeta(state coherence.State, prot pte.Prot, blockDirty, pageDirty, isPTE, byWrite bool) uint8 {
+	m := uint8(state) | uint8(prot)<<metaProtShift
+	if blockDirty {
+		m |= metaBlockDirty
+	}
+	if pageDirty {
+		m |= metaPageDirty
+	}
+	if isPTE {
+		m |= metaIsPTE
+	}
+	if byWrite {
+		m |= metaByWrite
+	}
+	return m
+}
+
+// metaNeedsWriteBack reports whether replacing a line with this metadata
+// requires a memory write: it holds a block that is dirty or owned.
+func metaNeedsWriteBack(m uint8) bool {
+	st := coherence.State(m & metaStateMask)
+	return st.Valid() && (m&metaBlockDirty != 0 || st.Owned())
 }
 
 // Victim describes a block displaced by a fill or flush.
@@ -80,7 +134,11 @@ type Stats struct {
 
 // Cache is a direct-mapped virtual-address cache.
 type Cache struct {
-	lines     []Line
+	// tags[i] and meta[i] together are line frame i. A frame is empty iff
+	// meta[i]'s coherency state is Invalid (meta[i]&metaStateMask == 0);
+	// its tag is then meaningless.
+	tags      []addr.BlockAddr
+	meta      []uint8
 	indexMask uint64
 
 	bus  *coherence.Bus
@@ -101,7 +159,8 @@ func New(sizeBytes int) *Cache {
 		panic(fmt.Sprintf("cache: line count %d not a power of two", n))
 	}
 	return &Cache{
-		lines:     make([]Line, n),
+		tags:      make([]addr.BlockAddr, n),
+		meta:      make([]uint8, n),
 		indexMask: uint64(n - 1),
 		port:      -1,
 	}
@@ -114,27 +173,120 @@ func (c *Cache) AttachBus(bus *coherence.Bus) {
 }
 
 // Lines returns the number of block frames.
-func (c *Cache) Lines() int { return len(c.lines) }
+func (c *Cache) Lines() int { return len(c.tags) }
 
 // SizeBytes returns the cache capacity in bytes.
-func (c *Cache) SizeBytes() int { return len(c.lines) * addr.BlockBytes }
+func (c *Cache) SizeBytes() int { return len(c.tags) * addr.BlockBytes }
 
 // index returns the line index for block b (direct mapped).
 func (c *Cache) index(b addr.BlockAddr) uint64 { return uint64(b) & c.indexMask }
 
-// Probe returns the line holding block b, or nil on a miss. The returned
-// pointer aliases cache state: callers mutate it to model hardware actions
-// (setting the block dirty bit, refreshing the cached page dirty bit, …).
-func (c *Cache) Probe(b addr.BlockAddr) *Line {
-	l := &c.lines[c.index(b)]
-	if l.State.Valid() && l.Addr == b {
-		return l
-	}
-	return nil
+// LineRef is a handle to one resident line frame, as returned by Probe. Its
+// accessors read and write the cache's packed state in place, so a LineRef
+// plays the role the hardware's tag-store port does: mutations through it
+// model the controller updating the tag bits of the probed frame. A LineRef
+// is only meaningful until the frame is refilled or flushed; callers re-probe
+// after anything that can displace lines, as the re-executed store would.
+type LineRef struct {
+	c *Cache
+	i uint32
 }
 
-// LineAt exposes the line at a raw index for inspection in tests and dumps.
-func (c *Cache) LineAt(i int) *Line { return &c.lines[i] }
+// Index returns the frame index (for diagnostics).
+func (r LineRef) Index() int { return int(r.i) }
+
+// Addr returns the global virtual block address held.
+func (r LineRef) Addr() addr.BlockAddr { return r.c.tags[r.i] }
+
+// SetAddr overwrites the tag. No normal path does this; it exists for fault
+// injection, which corrupts tags to exercise the audit machinery.
+func (r LineRef) SetAddr(b addr.BlockAddr) { r.c.tags[r.i] = b }
+
+// State returns the Berkeley Ownership coherency state.
+func (r LineRef) State() coherence.State {
+	return coherence.State(r.c.meta[r.i] & metaStateMask)
+}
+
+// SetState updates the coherency state.
+func (r LineRef) SetState(s coherence.State) {
+	m := &r.c.meta[r.i]
+	*m = *m&^metaStateMask | uint8(s)
+}
+
+// BlockDirty returns the block dirty bit B.
+func (r LineRef) BlockDirty() bool { return r.c.meta[r.i]&metaBlockDirty != 0 }
+
+// SetBlockDirty updates the block dirty bit.
+func (r LineRef) SetBlockDirty(v bool) {
+	if v {
+		r.c.meta[r.i] |= metaBlockDirty
+	} else {
+		r.c.meta[r.i] &^= metaBlockDirty
+	}
+}
+
+// PageDirty returns the cached copy of the page dirty bit P.
+func (r LineRef) PageDirty() bool { return r.c.meta[r.i]&metaPageDirty != 0 }
+
+// SetPageDirty updates the cached page dirty bit.
+func (r LineRef) SetPageDirty(v bool) {
+	if v {
+		r.c.meta[r.i] |= metaPageDirty
+	} else {
+		r.c.meta[r.i] &^= metaPageDirty
+	}
+}
+
+// Prot returns the cached copy of the page protection.
+func (r LineRef) Prot() pte.Prot {
+	return pte.Prot((r.c.meta[r.i] & metaProtMask) >> metaProtShift)
+}
+
+// SetProt updates the cached protection.
+func (r LineRef) SetProt(p pte.Prot) {
+	m := &r.c.meta[r.i]
+	*m = *m&^metaProtMask | uint8(p)<<metaProtShift
+}
+
+// IsPTE reports whether the frame holds a page-table block.
+func (r LineRef) IsPTE() bool { return r.c.meta[r.i]&metaIsPTE != 0 }
+
+// FilledByWrite reports whether a write miss brought the block in.
+func (r LineRef) FilledByWrite() bool { return r.c.meta[r.i]&metaByWrite != 0 }
+
+// Line returns a decoded snapshot of the frame.
+func (r LineRef) Line() Line { return r.c.LineAt(int(r.i)) }
+
+// Probe looks up block b and reports whether it is resident. On a hit the
+// returned LineRef addresses the frame holding it; callers mutate the frame
+// through the ref to model hardware actions (setting the block dirty bit,
+// refreshing the cached page dirty bit, …). On a miss the LineRef is the
+// zero value and must not be used.
+func (c *Cache) Probe(b addr.BlockAddr) (LineRef, bool) {
+	i := c.index(b)
+	if c.meta[i]&metaStateMask != 0 && c.tags[i] == b {
+		//spurlint:ignore countersafe — i is a line index masked to the frame count, at most 2^22 for the largest sweepable cache, far inside uint32
+		return LineRef{c: c, i: uint32(i)}, true
+	}
+	return LineRef{}, false
+}
+
+// LineAt decodes the frame at a raw index for inspection in tests and dumps.
+func (c *Cache) LineAt(i int) Line {
+	m := c.meta[i]
+	l := Line{
+		State:         coherence.State(m & metaStateMask),
+		Prot:          pte.Prot((m & metaProtMask) >> metaProtShift),
+		BlockDirty:    m&metaBlockDirty != 0,
+		PageDirty:     m&metaPageDirty != 0,
+		IsPTE:         m&metaIsPTE != 0,
+		FilledByWrite: m&metaByWrite != 0,
+	}
+	if l.State.Valid() {
+		l.Addr = c.tags[i]
+	}
+	return l
+}
 
 // Fill brings block b into the cache after a miss, snapshotting the page
 // protection and page dirty bit from the PTE, and returns the displaced
@@ -142,35 +294,30 @@ func (c *Cache) LineAt(i int) *Line { return &c.lines[i] }
 // state is the arriving coherency state (UnOwned for reads, OwnedExclusive
 // for writes under Berkeley Ownership).
 func (c *Cache) Fill(b addr.BlockAddr, state coherence.State, prot pte.Prot, pageDirty, isPTE, byWrite bool) (Victim, bool) {
-	l := &c.lines[c.index(b)]
+	i := c.index(b)
+	m := c.meta[i]
 	var v Victim
 	evicted := false
-	if l.State.Valid() {
-		if l.Addr == b {
+	if m&metaStateMask != 0 {
+		old := c.tags[i]
+		if old == b {
 			panic("cache: Fill of resident block")
 		}
 		v = Victim{
-			Addr:                 l.Addr,
-			WriteBack:            l.needsWriteBack(),
-			ReadThenNeverWritten: !l.FilledByWrite && !l.BlockDirty,
-			IsPTE:                l.IsPTE,
+			Addr:                 old,
+			WriteBack:            metaNeedsWriteBack(m),
+			ReadThenNeverWritten: m&(metaByWrite|metaBlockDirty) == 0,
+			IsPTE:                m&metaIsPTE != 0,
 		}
 		evicted = true
 		c.Stats.Evictions++
 		if v.WriteBack {
 			c.Stats.WriteBacks++
-			c.issue(coherence.BusWriteBack, l.Addr)
+			c.issue(coherence.BusWriteBack, old)
 		}
 	}
-	*l = Line{
-		Addr:          b,
-		State:         state,
-		BlockDirty:    byWrite,
-		PageDirty:     pageDirty,
-		Prot:          prot,
-		IsPTE:         isPTE,
-		FilledByWrite: byWrite,
-	}
+	c.tags[i] = b
+	c.meta[i] = packMeta(state, prot, byWrite, pageDirty, isPTE, byWrite)
 	c.Stats.Fills++
 	return v, evicted
 }
@@ -179,21 +326,23 @@ func (c *Cache) Fill(b addr.BlockAddr, state coherence.State, prot pte.Prot, pag
 // was present and whether it was written back. This is SPUR's single-block
 // flush operation.
 func (c *Cache) FlushBlock(b addr.BlockAddr) (present, writtenBack bool) {
-	l := c.Probe(b)
-	if l == nil {
+	l, ok := c.Probe(b)
+	if !ok {
 		return false, false
 	}
 	c.Stats.BlockFlush++
-	return true, c.invalidateLine(l)
+	return true, c.invalidateFrame(uint64(l.i))
 }
 
-func (c *Cache) invalidateLine(l *Line) bool {
-	wb := l.needsWriteBack()
+// invalidateFrame empties frame i, writing the block back if it needs it,
+// and reports whether it did.
+func (c *Cache) invalidateFrame(i uint64) bool {
+	wb := metaNeedsWriteBack(c.meta[i])
 	if wb {
 		c.Stats.WriteBacks++
-		c.issue(coherence.BusWriteBack, l.Addr)
+		c.issue(coherence.BusWriteBack, c.tags[i])
 	}
-	*l = Line{}
+	c.meta[i] = 0
 	return wb
 }
 
@@ -227,18 +376,18 @@ func (c *Cache) FlushPage(p addr.GVPN, tagCheck bool) FlushResult {
 	first := p.FirstBlock()
 	for i := 0; i < addr.BlocksPerPage; i++ {
 		b := first + addr.BlockAddr(i)
-		l := &c.lines[c.index(b)]
-		if !l.State.Valid() {
+		fi := c.index(b)
+		if c.meta[fi]&metaStateMask == 0 {
 			continue
 		}
-		if tagCheck && l.Addr != b {
+		if tagCheck && c.tags[fi] != b {
 			continue
 		}
-		if l.Addr.Page() != p {
+		if c.tags[fi].Page() != p {
 			res.Collateral++
 		}
 		res.Flushed++
-		if c.invalidateLine(l) {
+		if c.invalidateFrame(fi) {
 			res.WrittenBack++
 		}
 	}
@@ -249,9 +398,8 @@ func (c *Cache) FlushPage(p addr.GVPN, tagCheck bool) FlushResult {
 // the number of write-backs.
 func (c *Cache) InvalidateAll() int {
 	wb := 0
-	for i := range c.lines {
-		l := &c.lines[i]
-		if l.State.Valid() && c.invalidateLine(l) {
+	for i := range c.meta {
+		if c.meta[i]&metaStateMask != 0 && c.invalidateFrame(uint64(i)) {
 			wb++
 		}
 	}
@@ -266,10 +414,10 @@ func (c *Cache) ResidentBlocks(p addr.GVPN) (resident, clean int) {
 	first := p.FirstBlock()
 	for i := 0; i < addr.BlocksPerPage; i++ {
 		b := first + addr.BlockAddr(i)
-		l := &c.lines[c.index(b)]
-		if l.State.Valid() && l.Addr == b {
+		fi := c.index(b)
+		if c.meta[fi]&metaStateMask != 0 && c.tags[fi] == b {
 			resident++
-			if !l.BlockDirty {
+			if c.meta[fi]&metaBlockDirty == 0 {
 				clean++
 			}
 		}
@@ -294,17 +442,17 @@ func (c *Cache) IssueBus(op coherence.BusOp, b addr.BlockAddr) (supplied, invali
 // Snoop implements coherence.Snooper: the cache watches other controllers'
 // transactions and updates its matching line per the Berkeley protocol.
 func (c *Cache) Snoop(op coherence.BusOp, b addr.BlockAddr) coherence.SnoopResult {
-	l := c.Probe(b)
-	if l == nil {
+	l, ok := c.Probe(b)
+	if !ok {
 		return coherence.SnoopResult{}
 	}
-	ns, res := coherence.OnSnoop(l.State, op)
+	ns, res := coherence.OnSnoop(l.State(), op)
 	if ns == coherence.Invalid {
 		// Ownership (and the data) transfers over the bus; no memory
 		// write-back happens here.
-		*l = Line{}
+		c.meta[l.i] = 0
 	} else {
-		l.State = ns
+		l.SetState(ns)
 	}
 	return res
 }
@@ -312,12 +460,12 @@ func (c *Cache) Snoop(op coherence.BusOp, b addr.BlockAddr) coherence.SnoopResul
 // Utilization returns the fraction of lines currently valid.
 func (c *Cache) Utilization() float64 {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].State.Valid() {
+	for i := range c.meta {
+		if c.meta[i]&metaStateMask != 0 {
 			n++
 		}
 	}
-	return float64(n) / float64(len(c.lines))
+	return float64(n) / float64(len(c.meta))
 }
 
 // Format describes the cache line layout (Figure 3.2b) as text.

@@ -38,19 +38,22 @@ func TestNewPanics(t *testing.T) {
 func TestProbeMissAndFillHit(t *testing.T) {
 	c := New(testSize)
 	b := addr.BlockAddr(12345)
-	if c.Probe(b) != nil {
+	if _, hit := c.Probe(b); hit {
 		t.Fatal("probe hit in empty cache")
 	}
 	v, evicted := c.Fill(b, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
 	if evicted {
 		t.Fatalf("fill into empty cache evicted %+v", v)
 	}
-	l := c.Probe(b)
-	if l == nil {
+	l, hit := c.Probe(b)
+	if !hit {
 		t.Fatal("probe miss after fill")
 	}
-	if l.Prot != pte.ProtReadOnly || l.PageDirty || l.BlockDirty || l.FilledByWrite || l.IsPTE {
-		t.Errorf("line snapshot wrong: %+v", *l)
+	if l.Prot() != pte.ProtReadOnly || l.PageDirty() || l.BlockDirty() || l.FilledByWrite() || l.IsPTE() {
+		t.Errorf("line snapshot wrong: %+v", l.Line())
+	}
+	if l.Addr() != b {
+		t.Errorf("line addr = %#x, want %#x", uint64(l.Addr()), uint64(b))
 	}
 }
 
@@ -69,10 +72,10 @@ func TestDirectMappedConflict(t *testing.T) {
 	if v.ReadThenNeverWritten {
 		t.Error("write-filled victim classified as read-then-never-written")
 	}
-	if c.Probe(b1) != nil {
+	if _, hit := c.Probe(b1); hit {
 		t.Error("evicted block still probes")
 	}
-	if c.Probe(b2) == nil {
+	if _, hit := c.Probe(b2); !hit {
 		t.Error("new block missing")
 	}
 	if c.Stats.WriteBacks != 1 || c.Stats.Evictions != 1 || c.Stats.Fills != 2 {
@@ -103,7 +106,7 @@ func TestVictimReadThenNeverWritten(t *testing.T) {
 	}
 	// Now a read-filled block that gets written (N_w-hit shape).
 	c.Fill(b, coherence.UnOwned, pte.ProtReadWrite, false, false, false)
-	c.Probe(b).BlockDirty = true
+	mustProbe(t, c, b).SetBlockDirty(true)
 	v, _ = c.Fill(conflict, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
 	if v.ReadThenNeverWritten || !v.WriteBack {
 		t.Errorf("written read-filled victim: %+v", v)
@@ -121,9 +124,19 @@ func TestFlushBlock(t *testing.T) {
 	if !present || !wb {
 		t.Errorf("flush: present=%v wb=%v", present, wb)
 	}
-	if c.Probe(b) != nil {
+	if _, hit := c.Probe(b); hit {
 		t.Error("block survived flush")
 	}
+}
+
+// mustProbe probes b and fails the test on a miss, returning the line ref.
+func mustProbe(t *testing.T, c *Cache, b addr.BlockAddr) LineRef {
+	t.Helper()
+	l, hit := c.Probe(b)
+	if !hit {
+		t.Fatalf("block %#x not resident", uint64(b))
+	}
+	return l
 }
 
 func fillPage(c *Cache, p addr.GVPN, nblocks int, dirty bool) {
@@ -176,7 +189,7 @@ func TestResidentBlocks(t *testing.T) {
 	c := New(testSize)
 	p := addr.GVPN(5)
 	fillPage(c, p, 8, false)
-	c.Probe(p.FirstBlock()).BlockDirty = true
+	mustProbe(t, c, p.FirstBlock()).SetBlockDirty(true)
 	res, clean := c.ResidentBlocks(p)
 	if res != 8 || clean != 7 {
 		t.Errorf("ResidentBlocks = %d,%d", res, clean)
@@ -215,12 +228,14 @@ func TestIndexMappingProperty(t *testing.T) {
 		b := addr.BlockAddr(raw % (1 << 33))
 		c.InvalidateAll()
 		c.Fill(b, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
-		if c.Probe(b) == nil {
+		if _, hit := c.Probe(b); !hit {
 			return false
 		}
 		conflict := b + addr.BlockAddr(c.Lines())
 		c.Fill(conflict, coherence.UnOwned, pte.ProtReadOnly, false, false, false)
-		return c.Probe(b) == nil && c.Probe(conflict) != nil
+		_, oldHit := c.Probe(b)
+		_, newHit := c.Probe(conflict)
+		return !oldHit && newHit
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -241,23 +256,23 @@ func TestSnoopInvalidatesAndTransfersOwnership(t *testing.T) {
 	if !supplied {
 		t.Fatal("owner did not supply on BusRead")
 	}
-	if c1.Probe(b).State != coherence.OwnedShared {
-		t.Errorf("owner state = %v", c1.Probe(b).State)
+	if st := mustProbe(t, c1, b).State(); st != coherence.OwnedShared {
+		t.Errorf("owner state = %v", st)
 	}
 	c2.Fill(b, coherence.UnOwned, pte.ProtReadWrite, false, false, false)
 
 	// c2 writes: BusInval drops c1's copy without a memory write-back.
 	wbBefore := c1.Stats.WriteBacks
 	c2.IssueBus(coherence.BusInval, b)
-	if c1.Probe(b) != nil {
+	if _, hit := c1.Probe(b); hit {
 		t.Error("BusInval left stale copy in c1")
 	}
 	if c1.Stats.WriteBacks != wbBefore {
 		t.Error("snoop invalidation wrote back (ownership moves on the bus, not through memory)")
 	}
-	l := c2.Probe(b)
-	l.State = coherence.OwnedExclusive
-	l.BlockDirty = true
+	l := mustProbe(t, c2, b)
+	l.SetState(coherence.OwnedExclusive)
+	l.SetBlockDirty(true)
 
 	// Eviction of the owned block in c2 now writes back.
 	conflict := b + addr.BlockAddr(c2.Lines())

@@ -9,59 +9,87 @@ import (
 )
 
 // modelCache is an obviously correct reference model of a direct-mapped
-// cache: a map from line index to resident block. The fuzz drives the real
-// cache and the model with the same operation stream and compares every
-// observable after every step.
+// cache: a map from line index to the full Line record, mutated with
+// straight-line code. The fuzz drives the real (packed, flat) cache and the
+// model with the same operation stream and compares every observable after
+// every step — probe hits, complete victim records, both page-flush
+// flavours' full results (including collateral counts), and per-line state.
 type modelCache struct {
 	lines int
-	held  map[int]addr.BlockAddr
-	dirty map[addr.BlockAddr]bool
+	held  map[int]Line
 }
 
 func newModel(lines int) *modelCache {
-	return &modelCache{lines: lines, held: map[int]addr.BlockAddr{}, dirty: map[addr.BlockAddr]bool{}}
+	return &modelCache{lines: lines, held: map[int]Line{}}
 }
 
 func (m *modelCache) index(b addr.BlockAddr) int { return int(uint64(b) % uint64(m.lines)) }
 
-func (m *modelCache) probe(b addr.BlockAddr) bool {
-	got, ok := m.held[m.index(b)]
-	return ok && got == b
+func (m *modelCache) probe(b addr.BlockAddr) (Line, bool) {
+	l, ok := m.held[m.index(b)]
+	if ok && l.Addr == b {
+		return l, true
+	}
+	return Line{}, false
 }
 
-func (m *modelCache) fill(b addr.BlockAddr, byWrite bool) (victim addr.BlockAddr, evicted, writeback bool) {
+func lineNeedsWriteBack(l Line) bool {
+	return l.State.Valid() && (l.BlockDirty || l.State.Owned())
+}
+
+func (m *modelCache) fill(b addr.BlockAddr, state coherence.State, prot pte.Prot, pageDirty, isPTE, byWrite bool) (Victim, bool) {
 	i := m.index(b)
+	var v Victim
+	evicted := false
 	if old, ok := m.held[i]; ok {
+		v = Victim{
+			Addr:                 old.Addr,
+			WriteBack:            lineNeedsWriteBack(old),
+			ReadThenNeverWritten: !old.FilledByWrite && !old.BlockDirty,
+			IsPTE:                old.IsPTE,
+		}
 		evicted = true
-		victim = old
-		writeback = m.dirty[old]
-		delete(m.dirty, old)
 	}
-	m.held[i] = b
-	if byWrite {
-		m.dirty[b] = true
+	m.held[i] = Line{
+		Addr: b, State: state, Prot: prot,
+		BlockDirty: byWrite, PageDirty: pageDirty,
+		IsPTE: isPTE, FilledByWrite: byWrite,
 	}
-	return victim, evicted, writeback
+	return v, evicted
 }
 
 func (m *modelCache) flushBlock(b addr.BlockAddr) (present, wb bool) {
-	if !m.probe(b) {
+	l, ok := m.probe(b)
+	if !ok {
 		return false, false
 	}
 	delete(m.held, m.index(b))
-	wb = m.dirty[b]
-	delete(m.dirty, b)
-	return true, wb
+	return true, lineNeedsWriteBack(l)
 }
 
-func (m *modelCache) flushPage(p addr.GVPN) {
+func (m *modelCache) flushPage(p addr.GVPN, tagCheck bool) FlushResult {
+	res := FlushResult{Checked: addr.BlocksPerPage}
 	first := p.FirstBlock()
 	for i := 0; i < addr.BlocksPerPage; i++ {
 		b := first + addr.BlockAddr(i)
-		if m.probe(b) {
-			m.flushBlock(b)
+		fi := m.index(b)
+		l, ok := m.held[fi]
+		if !ok {
+			continue
 		}
+		if tagCheck && l.Addr != b {
+			continue
+		}
+		if l.Addr.Page() != p {
+			res.Collateral++
+		}
+		res.Flushed++
+		if lineNeedsWriteBack(l) {
+			res.WrittenBack++
+		}
+		delete(m.held, fi)
 	}
+	return res
 }
 
 // splitmix for the op stream.
@@ -73,13 +101,32 @@ func next(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// checkLines compares every line frame against the model.
+func checkLines(t *testing.T, step int, c *Cache, m *modelCache) {
+	t.Helper()
+	for i := 0; i < c.Lines(); i++ {
+		l := c.LineAt(i)
+		ml, ok := m.held[i]
+		if l.Valid() != ok {
+			t.Fatalf("step %d line %d: validity mismatch real=%v model=%v", step, i, l.Valid(), ok)
+		}
+		if ok && l != ml {
+			t.Fatalf("step %d line %d: state mismatch\n real: %+v\nmodel: %+v", step, i, l, ml)
+		}
+	}
+}
+
 // TestCacheAgainstReferenceModel drives 200k random operations through the
-// real cache and the model, comparing probes, victims, and write-backs.
+// real cache and the model, comparing probes, full victim records, both
+// page-flush flavours, and complete per-line state.
 func TestCacheAgainstReferenceModel(t *testing.T) {
 	const size = 4096 // 128 lines: frequent conflicts
 	c := New(size)
 	m := newModel(c.Lines())
 	state := uint64(12345)
+
+	prots := [...]pte.Prot{pte.ProtNone, pte.ProtReadOnly, pte.ProtReadWrite, pte.ProtKernel}
+	states := [...]coherence.State{coherence.UnOwned, coherence.OwnedShared, coherence.OwnedExclusive}
 
 	blockUniverse := func() addr.BlockAddr {
 		// 512 blocks over 4 pages' worth of address space across two
@@ -91,34 +138,58 @@ func TestCacheAgainstReferenceModel(t *testing.T) {
 
 	for step := 0; step < 200000; step++ {
 		b := blockUniverse()
-		switch next(&state) % 10 {
-		case 0, 1, 2, 3: // probe + maybe fill
-			real := c.Probe(b)
-			if (real != nil) != m.probe(b) {
+		switch next(&state) % 12 {
+		case 0, 1, 2, 3: // probe + maybe fill with randomized line state
+			_, hit := c.Probe(b)
+			_, mhit := m.probe(b)
+			if hit != mhit {
 				t.Fatalf("step %d: probe mismatch for %#x: real=%v model=%v",
-					step, uint64(b), real != nil, m.probe(b))
+					step, uint64(b), hit, mhit)
 			}
-			if real == nil {
-				byWrite := next(&state)%2 == 0
-				st := coherence.UnOwned
+			if !hit {
+				r := next(&state)
+				byWrite := r&1 == 0
+				st := states[(r>>1)%3]
 				if byWrite {
 					st = coherence.OwnedExclusive
 				}
-				v, evicted := c.Fill(b, st, pte.ProtReadWrite, false, false, byWrite)
-				mv, mev, mwb := m.fill(b, byWrite)
+				prot := prots[(r>>3)%4]
+				pageDirty := r&(1<<5) != 0
+				isPTE := r&(1<<6) != 0
+				v, evicted := c.Fill(b, st, prot, pageDirty, isPTE, byWrite)
+				mv, mev := m.fill(b, st, prot, pageDirty, isPTE, byWrite)
 				if evicted != mev {
 					t.Fatalf("step %d: eviction mismatch", step)
 				}
-				if evicted && (v.Addr != mv || v.WriteBack != mwb) {
-					t.Fatalf("step %d: victim mismatch real={%#x wb=%v} model={%#x wb=%v}",
-						step, uint64(v.Addr), v.WriteBack, uint64(mv), mwb)
+				if evicted && v != mv {
+					t.Fatalf("step %d: victim mismatch\n real: %+v\nmodel: %+v", step, v, mv)
 				}
 			}
-		case 4: // write hit marks dirty
-			if l := c.Probe(b); l != nil {
-				l.BlockDirty = true
-				l.State = coherence.OwnedExclusive
-				m.dirty[b] = true
+		case 4: // mutate through the LineRef, mirrored in the model
+			if l, hit := c.Probe(b); hit {
+				i := m.index(b)
+				ml := m.held[i]
+				r := next(&state)
+				switch r % 4 {
+				case 0: // write hit: dirty + exclusive
+					l.SetBlockDirty(true)
+					l.SetState(coherence.OwnedExclusive)
+					ml.BlockDirty = true
+					ml.State = coherence.OwnedExclusive
+				case 1: // page-dirty refresh (dirty-bit miss repair)
+					v := r&(1<<8) != 0
+					l.SetPageDirty(v)
+					ml.PageDirty = v
+				case 2: // protection refresh
+					p := prots[(r>>2)%4]
+					l.SetProt(p)
+					ml.Prot = p
+				case 3: // coherency downgrade/upgrade
+					s := states[(r>>2)%3]
+					l.SetState(s)
+					ml.State = s
+				}
+				m.held[i] = ml
 			}
 		case 5: // block flush
 			p, wb := c.FlushBlock(b)
@@ -126,30 +197,50 @@ func TestCacheAgainstReferenceModel(t *testing.T) {
 			if p != mp || wb != mwb {
 				t.Fatalf("step %d: flush mismatch (%v,%v) vs (%v,%v)", step, p, wb, mp, mwb)
 			}
-		case 6: // tag-checking page flush
+		case 6: // tag-checking page flush, full result compared
 			page := b.Page()
-			c.FlushPage(page, true)
-			m.flushPage(page)
+			res := c.FlushPage(page, true)
+			mres := m.flushPage(page, true)
+			if res != mres {
+				t.Fatalf("step %d: tag-checking flush mismatch\n real: %+v\nmodel: %+v", step, res, mres)
+			}
+			if res.Collateral != 0 {
+				t.Fatalf("step %d: tag-checking flush reported collateral %d", step, res.Collateral)
+			}
+		case 7: // tag-ignoring page flush: the collateral-damage flavour
+			page := b.Page()
+			res := c.FlushPage(page, false)
+			mres := m.flushPage(page, false)
+			if res != mres {
+				t.Fatalf("step %d: tag-ignoring flush mismatch\n real: %+v\nmodel: %+v", step, res, mres)
+			}
+		case 8: // resident-block census
+			page := b.Page()
+			resident, clean := c.ResidentBlocks(page)
+			mr, mc := 0, 0
+			first := page.FirstBlock()
+			for i := 0; i < addr.BlocksPerPage; i++ {
+				if l, ok := m.probe(first + addr.BlockAddr(i)); ok {
+					mr++
+					if !l.BlockDirty {
+						mc++
+					}
+				}
+			}
+			if resident != mr || clean != mc {
+				t.Fatalf("step %d: ResidentBlocks = (%d,%d), model (%d,%d)", step, resident, clean, mr, mc)
+			}
 		default: // probe only
-			real := c.Probe(b)
-			if (real != nil) != m.probe(b) {
+			_, hit := c.Probe(b)
+			if _, mhit := m.probe(b); hit != mhit {
 				t.Fatalf("step %d: probe-only mismatch for %#x", step, uint64(b))
 			}
 		}
+		if step%8192 == 0 {
+			checkLines(t, step, c, m)
+		}
 	}
 
-	// Final sweep: every valid line agrees with the model.
-	for i := 0; i < c.Lines(); i++ {
-		l := c.LineAt(i)
-		mb, ok := m.held[i]
-		if l.Valid() != ok {
-			t.Fatalf("line %d: validity mismatch", i)
-		}
-		if ok && l.Addr != mb {
-			t.Fatalf("line %d: holds %#x, model %#x", i, uint64(l.Addr), uint64(mb))
-		}
-		if ok && l.BlockDirty != m.dirty[mb] {
-			t.Fatalf("line %d: dirty mismatch", i)
-		}
-	}
+	// Final sweep: every line frame agrees with the model in full.
+	checkLines(t, 200000, c, m)
 }

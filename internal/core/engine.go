@@ -64,10 +64,23 @@ func NewEngine(c *cache.Cache, x *xlate.Unit, pager *vm.Pager, ctr *counters.Set
 	return e
 }
 
+// opEvent and opMissEvent map a trace.Op to its issue and miss counter
+// events, replacing a three-way branch on the hottest path with one load.
+var opEvent = [3]counters.Event{
+	trace.OpIFetch: counters.EvIFetch,
+	trace.OpRead:   counters.EvRead,
+	trace.OpWrite:  counters.EvWrite,
+}
+
+var opMissEvent = [3]counters.Event{
+	trace.OpIFetch: counters.EvIFetchMiss,
+	trace.OpRead:   counters.EvReadMiss,
+	trace.OpWrite:  counters.EvWriteMiss,
+}
+
 // Access processes one memory reference.
 func (e *Engine) Access(r trace.Rec) {
 	b := r.Addr.Block()
-	p := r.Addr.Page()
 
 	if e.Inject != nil && e.Inject.Fire(faultinject.CounterWrap) {
 		// The hardware counters jump to the edge of their 32-bit range;
@@ -75,26 +88,31 @@ func (e *Engine) Access(r trace.Rec) {
 		e.Ctr.InjectWraparound(8)
 	}
 
-	switch r.Op {
-	case trace.OpIFetch:
-		e.Ctr.Inc(counters.EvIFetch)
-	case trace.OpRead:
-		e.Ctr.Inc(counters.EvRead)
-	case trace.OpWrite:
-		e.Ctr.Inc(counters.EvWrite)
-	}
+	e.Ctr.Inc(opEvent[r.Op])
 
-	if l := e.Cache.Probe(b); l != nil {
-		e.injectLineFaults(l)
+	if l, hit := e.Cache.Probe(b); hit {
+		if e.Inject != nil {
+			e.injectLineFaults(l)
+		}
 		// Cache hit: the whole point of a virtual address cache — no
 		// translation, single-cycle access.
 		e.Cycles += uint64(e.TP.HitCycles)
 		if r.Op == trace.OpWrite {
-			e.writeHit(l, p, b)
+			e.writeHit(l, r.Addr.Page(), b)
 		}
 		return
 	}
-	e.miss(r.Op, b, p)
+	e.miss(r.Op, b, r.Addr.Page())
+}
+
+// AccessBatch processes a buffer of references with one concrete call,
+// replacing the per-reference interface dispatch of Source.Next + Access.
+// The simulated outcome is identical to calling Access on each record in
+// order.
+func (e *Engine) AccessBatch(recs []trace.Rec) {
+	for i := range recs {
+		e.Access(recs[i])
+	}
 }
 
 // injectLineFaults applies planned soft errors to the line just probed: a
@@ -103,36 +121,31 @@ func (e *Engine) Access(r trace.Rec) {
 // to no resident page — the breach the continuous audit must catch). The
 // corrupted tag flips block-address bit 24: the cache index and the segment
 // are preserved, but the line now claims a page ±2^17 pages away, far
-// outside any registered region.
-func (e *Engine) injectLineFaults(l *cache.Line) {
-	if e.Inject == nil {
-		return
-	}
+// outside any registered region. The caller checks Inject for nil; this
+// runs on every cache hit, so the inert case must not cost a call.
+func (e *Engine) injectLineFaults(l cache.LineRef) {
 	if e.Inject.Fire(faultinject.DirtyBitFlip) {
-		l.PageDirty = !l.PageDirty
+		l.SetPageDirty(!l.PageDirty())
 	}
-	if !l.IsPTE && e.Inject.Fire(faultinject.LineCorrupt) {
-		l.Addr ^= 1 << 24
+	if !l.IsPTE() && e.Inject.Fire(faultinject.LineCorrupt) {
+		l.SetAddr(l.Addr() ^ 1<<24)
 	}
 }
 
 // miss handles a cache miss: translate, fault if needed, apply the
 // reference-bit and (for writes) dirty-bit policy, and fill the block.
 func (e *Engine) miss(op trace.Op, b addr.BlockAddr, p addr.GVPN) {
-	switch op {
-	case trace.OpIFetch:
-		e.Ctr.Inc(counters.EvIFetchMiss)
-	case trace.OpRead:
-		e.Ctr.Inc(counters.EvReadMiss)
-	case trace.OpWrite:
-		e.Ctr.Inc(counters.EvWriteMiss)
-	}
+	e.Ctr.Inc(opMissEvent[op])
 	e.Cycles += uint64(e.TP.HitCycles) // the probe that missed
 
-	res := e.X.Translate(p)
-	e.Cycles += res.Cycles
-	e.chargeVictim(res.Victim, res.Evicted)
-	entry := res.Entry
+	entry, xc, cached := e.X.TranslateCached(p)
+	e.Cycles += xc
+	if !cached {
+		res := e.X.TranslateMiss(p)
+		e.Cycles += res.Cycles
+		e.chargeVictim(res.Victim, res.Evicted)
+		entry = res.Entry
+	}
 
 	if !entry.Valid() {
 		// Page fault: the pager makes the page resident and calls back
@@ -184,11 +197,11 @@ func (e *Engine) miss(op trace.Op, b addr.BlockAddr, p addr.GVPN) {
 // are captured first and the line is re-probed afterwards; if it was
 // displaced, the write completes by refetching the block, exactly as the
 // hardware would re-execute the store after the handler returns.
-func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
-	wasClean := !l.BlockDirty
-	byRead := !l.FilledByWrite
+func (e *Engine) writeHit(l cache.LineRef, p addr.GVPN, b addr.BlockAddr) {
+	wasClean := !l.BlockDirty()
+	byRead := !l.FilledByWrite()
 
-	if !e.Dirty.UsesProtectionEmulation() && !l.Prot.AllowsWrite() {
+	if !e.Dirty.UsesProtectionEmulation() && !l.Prot().AllowsWrite() {
 		// Under the non-emulating policies the protection field means
 		// what it says: a write to a read-only page is a real
 		// violation, which the synthetic workloads never produce.
@@ -199,7 +212,7 @@ func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
 	case DirtyMIN:
 		// Idealized: perfect first-write detection with zero checking
 		// cost. Only the intrinsic software update is charged.
-		if !l.PageDirty {
+		if !l.PageDirty() {
 			if !e.X.Table().Lookup(p).Dirty() {
 				e.necessaryFault(p)
 			}
@@ -208,7 +221,7 @@ func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
 	case DirtyFAULT, DirtyFLUSH:
 		// The protection cached with the block is what the hardware
 		// checks; the PTE's protection may have moved on.
-		if !l.Prot.AllowsWrite() {
+		if !l.Prot().AllowsWrite() {
 			page := e.Pager.Lookup(p)
 			if page == nil || !page.Writable() {
 				panic(fmt.Sprintf("core: protection fault on non-writable page %#x", uint64(p)))
@@ -225,7 +238,7 @@ func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
 		}
 
 	case DirtySPUR:
-		if !l.PageDirty {
+		if !l.PageDirty() {
 			if e.X.Table().Lookup(p).Dirty() {
 				// The cached copy is merely out of date: refresh it
 				// with a dirty bit miss (implemented by forcing a
@@ -257,7 +270,7 @@ func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
 	case DirtyPROT:
 		// The generalized SPUR scheme: the dirty-bit-miss idea applied
 		// to the protection field itself, needing no extra line bit.
-		if !l.Prot.AllowsWrite() {
+		if !l.Prot().AllowsWrite() {
 			page := e.Pager.Lookup(p)
 			if page == nil || !page.Writable() {
 				panic(fmt.Sprintf("core: protection fault on non-writable page %#x", uint64(p)))
@@ -283,8 +296,8 @@ func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
 	}
 
 	entry := e.X.Table().Lookup(p)
-	l = e.Cache.Probe(b)
-	if l == nil {
+	l, hit := e.Cache.Probe(b)
+	if !hit {
 		// Displaced by handler activity: the re-executed store misses
 		// and refetches the block with fresh PTE snapshots.
 		e.Ctr.Inc(counters.EvBusRead)
@@ -295,33 +308,37 @@ func (e *Engine) writeHit(l *cache.Line, p addr.GVPN, b addr.BlockAddr) {
 		return
 	}
 	// The handler (or dirty-bit miss) leaves the cached snapshots fresh.
-	l.Prot = entry.Prot()
-	l.PageDirty = entry.Dirty()
-	l.BlockDirty = true
+	l.SetProt(entry.Prot())
+	l.SetPageDirty(entry.Dirty())
+	l.SetBlockDirty(true)
 
-	ns, busOp, need := coherence.OnLocalWrite(l.State)
+	ns, busOp, need := coherence.OnLocalWrite(l.State())
 	if need {
 		_, inval := e.Cache.IssueBus(busOp, b)
 		if inval {
 			e.Ctr.Inc(counters.EvInval)
 		}
 	}
-	l.State = ns
+	l.SetState(ns)
 }
 
 // writeMiss applies the dirty-bit policy on the write-miss path, where the
 // PTE is in hand anyway (translation just completed), so every policy can
 // check it for free.
 func (e *Engine) writeMiss(p addr.GVPN, entry pte.Entry) pte.Entry {
+	if entry.Dirty() {
+		// Already dirty means a write already faulted (or the policy
+		// marked it at map time), which established writability; the
+		// explicit pager check below would be a hash lookup per write
+		// miss spent re-proving it.
+		return entry
+	}
 	page := e.Pager.Lookup(p)
 	if page == nil || !page.Writable() {
 		panic(fmt.Sprintf("core: write to non-writable page %#x", uint64(p)))
 	}
-	if !entry.Dirty() {
-		e.necessaryFault(p)
-		entry = e.X.Table().Lookup(p)
-	}
-	return entry
+	e.necessaryFault(p)
+	return e.X.Table().Lookup(p)
 }
 
 // necessaryFault is the software dirty-bit fault common to all policies:

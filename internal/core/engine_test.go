@@ -490,7 +490,7 @@ func TestTagIgnoringFlushCollateral(t *testing.T) {
 	// all 128 of page 0's frames and takes page 32's block with them.
 	r.read(dataAddr(0, 20))
 	r.write(dataAddr(0, 20))
-	if r.e.Cache.Probe(dataAddr(32, 21).Block()) != nil {
+	if _, hit := r.e.Cache.Probe(dataAddr(32, 21).Block()); hit {
 		t.Error("tag-ignoring flush spared a conflicting page's block")
 	}
 
@@ -500,7 +500,7 @@ func TestTagIgnoringFlushCollateral(t *testing.T) {
 	r2.read(dataAddr(32, 21))
 	r2.read(dataAddr(0, 20))
 	r2.write(dataAddr(0, 20))
-	if r2.e.Cache.Probe(dataAddr(32, 21).Block()) == nil {
+	if _, hit := r2.e.Cache.Probe(dataAddr(32, 21).Block()); !hit {
 		t.Error("tag-checking flush took a bystander")
 	}
 }

@@ -114,17 +114,51 @@ var modeMap = [NumModes][HardwareCounters]Event{
 		EvDirtyFault, EvRefFault, EvRead, EvWrite},
 }
 
+// wired[mode][event] is the index of the hardware counter that event drives
+// under that mode, or the write-only spill slot (index HardwareCounters)
+// when the mode does not wire it. It is the inverse of modeMap, precomputed
+// once so Add — the hottest function in the whole simulator, called several
+// times per memory reference — indexes a table instead of scanning all
+// sixteen wirings; routing unwired events to the spill slot instead of
+// branching keeps the hot path straight-line.
+var wired [NumModes][NumEvents]int8
+
+func init() {
+	for m := range modeMap {
+		for e := range wired[m] {
+			wired[m][e] = HardwareCounters
+		}
+		for i, ev := range modeMap[m] {
+			if wired[m][ev] != HardwareCounters {
+				// Each event signal reaches at most one counter per mode
+				// (a wiring, not a fan-out); the single-index fast path in
+				// Add is only equivalent to scanning modeMap under this
+				// invariant, so a violation must fail at startup.
+				panic(fmt.Sprintf("counters: event %v wired twice in mode %d", ev, m))
+			}
+			//spurlint:ignore countersafe — i indexes the sixteen hardware counters, always within int8
+			wired[m][ev] = int8(i)
+		}
+	}
+}
+
 // Set is one cache controller's performance-counter block: sixteen 32-bit
 // hardware counters behind a mode register, plus the 64-bit software shadow
 // of every event.
 type Set struct {
-	mode   int
-	hw     [HardwareCounters]uint32
+	mode int
+	// w caches &wired[mode] so Add — called several times per memory
+	// reference — is one indexed load instead of a two-dimensional one.
+	w *[NumEvents]int8
+	// hw has one extra slot beyond the sixteen physical counters: the
+	// write-only spill that absorbs events the current mode leaves
+	// unwired, so Add needs no wired/unwired branch.
+	hw     [HardwareCounters + 1]uint32
 	shadow [NumEvents]uint64
 }
 
 // New returns a counter set in mode 0 with all counters clear.
-func New() *Set { return &Set{} }
+func New() *Set { return &Set{w: &wired[0]} }
 
 // Mode returns the current mode-register value.
 func (s *Set) Mode() int { return s.mode }
@@ -137,17 +171,14 @@ func (s *Set) SetMode(mode int) {
 		panic(fmt.Sprintf("counters: invalid mode %d", mode))
 	}
 	s.mode = mode
+	s.w = &wired[mode]
 }
 
 // Add raises event e n times.
 func (s *Set) Add(e Event, n uint64) {
 	s.shadow[e] += n
-	for i, ev := range modeMap[s.mode] {
-		if ev == e {
-			//spurlint:ignore countersafe — the hardware counters are 32-bit by design; wraparound here is the modeled chip behavior the shadow counters exist to repair
-			s.hw[i] += uint32(n)
-		}
-	}
+	//spurlint:ignore countersafe — the hardware counters are 32-bit by design; wraparound here is the modeled chip behavior the shadow counters exist to repair
+	s.hw[s.w[e]] += uint32(n)
 }
 
 // Inc raises event e once.
@@ -169,14 +200,14 @@ func (s *Set) Count(e Event) uint64 { return s.shadow[e] }
 // untouched, so measurements survive the wrap while the hardware-accurate
 // view visibly loses 2^32 counts.
 func (s *Set) InjectWraparound(slack uint32) {
-	for i := range s.hw {
+	for i := 0; i < HardwareCounters; i++ {
 		s.hw[i] = ^uint32(0) - slack
 	}
 }
 
 // Reset clears the hardware counters and the software shadow.
 func (s *Set) Reset() {
-	s.hw = [HardwareCounters]uint32{}
+	s.hw = [HardwareCounters + 1]uint32{}
 	s.shadow = [NumEvents]uint64{}
 }
 

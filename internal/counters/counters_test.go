@@ -183,3 +183,40 @@ func TestShadowMatchesManualSum(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWiredTableMatchesModeMap(t *testing.T) {
+	// The precomputed wired table in Add must be exactly equivalent to
+	// scanning modeMap for the event: the same counter hit for every wired
+	// (mode, event) pair, and the write-only spill slot for unwired ones.
+	for m := 0; m < NumModes; m++ {
+		for e := Event(0); e < NumEvents; e++ {
+			scan := HardwareCounters
+			for i, ev := range modeMap[m] {
+				if ev == e {
+					if scan != HardwareCounters {
+						t.Fatalf("mode %d wires %v twice", m, e)
+					}
+					scan = i
+				}
+			}
+			if got := int(wired[m][e]); got != scan {
+				t.Errorf("mode %d event %v: wired=%d modeMap scan=%d", m, e, got, scan)
+			}
+		}
+	}
+}
+
+func TestAddHitsWiredCounter(t *testing.T) {
+	for m := 0; m < NumModes; m++ {
+		s := New()
+		s.SetMode(m)
+		for e := Event(0); e < NumEvents; e++ {
+			s.Add(e, 3)
+		}
+		for i, ev := range modeMap[m] {
+			if s.Hardware(i) != 3 {
+				t.Errorf("mode %d counter %d (%v) = %d, want 3", m, i, ev, s.Hardware(i))
+			}
+		}
+	}
+}

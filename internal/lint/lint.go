@@ -19,6 +19,8 @@
 //     truncation of 64-bit counters.
 //   - errcheck: no discarded error returns in non-test code.
 //   - goconfine: `go` statements only in packages allowed to own concurrency.
+//   - hotpath: the designated probe/translate hot-path functions stay on
+//     dense index-addressed structures — no map operations.
 //
 // A finding can be suppressed, with a recorded justification, by a comment
 // on the offending line or the line above:
@@ -116,6 +118,7 @@ func Analyzers() []*Analyzer {
 		CounterSafeAnalyzer,
 		ErrcheckAnalyzer,
 		GoConfineAnalyzer,
+		HotPathAnalyzer,
 	}
 }
 

@@ -108,8 +108,13 @@ func New(cfg Config) *Machine {
 	e := core.NewEngine(c, x, pager, ctr, cfg.Timing, cfg.Dirty, cfg.Ref)
 	e.TagCheckFlush = cfg.TagCheckFlush
 	inj := faultinject.New(cfg.Faults...)
-	e.Inject = inj
-	pager.Inject = inj
+	if inj.Active() {
+		// Only fault-plan runs pay for injection checks on the hot path;
+		// a nil *faultinject.Injector is valid and inert, so the common
+		// no-faults configuration leaves the engine and pager unwired.
+		e.Inject = inj
+		pager.Inject = inj
+	}
 	return &Machine{
 		Cfg: cfg, Ctr: ctr, Cache: c, Table: tbl, X: x,
 		Pool: pool, Pager: pager, Engine: e, Inject: inj,
@@ -162,14 +167,32 @@ type Result struct {
 	Refs int64
 }
 
+// bindRunnable connects a source's runnable-process count to the pager, so
+// page-in stalls overlap with other processes' work. The plain and hardened
+// runners both go through it: the capability assertion lives in one place
+// so the two paths cannot drift.
+func bindRunnable(p *vm.Pager, src trace.Source) {
+	if r, ok := src.(interface{ Runnable() int }); ok {
+		p.Runnable = r.Runnable
+	}
+}
+
+// runBatchSize is the reference buffer filled per batch-source call. One
+// page of records keeps the buffer cache-resident while amortizing the
+// per-reference interface dispatch to one call in a few thousand.
+const runBatchSize = 4096
+
 // Run drives up to n references from src through the engine and returns the
 // run summary. Counters are not reset, so successive Runs accumulate; use a
 // fresh Machine per experiment. Sources that report their runnable process
 // count (like workload scripts) let the pager overlap page-in stalls with
-// other processes' work.
+// other processes' work. Batch sources are consumed a buffer at a time;
+// the reference sequence (and so every simulated outcome) is identical
+// either way.
 func (m *Machine) Run(src trace.Source, n int64) Result {
-	if r, ok := src.(interface{ Runnable() int }); ok {
-		m.Pager.Runnable = r.Runnable
+	bindRunnable(m.Pager, src)
+	if bs, ok := src.(trace.BatchSource); ok {
+		return m.runBatched(bs, n)
 	}
 	var i int64
 	for ; i < n; i++ {
@@ -178,6 +201,28 @@ func (m *Machine) Run(src trace.Source, n int64) Result {
 			break
 		}
 		m.Engine.Access(rec)
+	}
+	m.refs += i
+	return m.Snapshot()
+}
+
+// runBatched is Run's buffered fast path: the source fills a reusable
+// record buffer, and the engine consumes it with a single concrete call
+// per batch instead of two interface dispatches per reference.
+func (m *Machine) runBatched(src trace.BatchSource, n int64) Result {
+	buf := make([]trace.Rec, runBatchSize)
+	var i int64
+	for i < n {
+		want := n - i
+		if want > runBatchSize {
+			want = runBatchSize
+		}
+		k := src.NextBatch(buf[:want])
+		if k == 0 {
+			break
+		}
+		m.Engine.AccessBatch(buf[:k])
+		i += int64(k)
 	}
 	m.refs += i
 	return m.Snapshot()

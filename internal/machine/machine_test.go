@@ -240,3 +240,63 @@ func TestFrameConservationUnderStress(t *testing.T) {
 		seen[uint32(pg.Frame)] = true
 	}
 }
+
+// perRefSource strips a script's batch capability so Run takes the
+// per-reference path, while keeping Runnable visible to the pager.
+type perRefSource struct{ s *workload.Script }
+
+func (p perRefSource) Next() (trace.Rec, bool) { return p.s.Next() }
+func (p perRefSource) Runnable() int           { return p.s.Runnable() }
+
+// TestBatchedRunMatchesPerRef runs the same machine and workload twice —
+// once through the batched fast path, once per reference — and requires
+// identical results. The stream being identical is necessary but not
+// sufficient: batch generation runs ahead of consumption, so a job releasing
+// a heap generation (or a reaped task tearing its regions down) mid-batch
+// would unmap pages before the machine replays the references generated
+// while they existed. The spec here is tuned to make that constant traffic:
+// tiny heap generations with a high allocation rate, short-lived foreground
+// jobs, and a fast monitor, all switching mid-batch on a sub-batch quantum.
+func TestBatchedRunMatchesPerRef(t *testing.T) {
+	churny := func(name string, refs int64) workload.JobSpec {
+		return workload.JobSpec{Params: workload.JobParams{
+			Name: name, Refs: refs,
+			CodePages: 4, HotCodeFrac: 0.3,
+			DataPages: 96, HeapPages: 2, StackPages: 2,
+			PIFetch: 0.5, PJump: 0.05, PFarJump: 0.1,
+			PStack: 0.1, PAlloc: 0.3, PScanHeap: 0.1,
+			PWritePage: 0.5, WriteRO: 0.3, WriteRMW: 0.2,
+			ReadPassWrite: 0.01, PBackWrite: 0.01,
+			PSeq: 0.3, PHotData: 0.3, HotDataFrac: 0.25, PHotWrite: 0.3,
+			PRevisitWrite: 0.1, WindowPages: 4,
+		}}
+	}
+	spec := workload.Spec{
+		Name:       "churn",
+		Background: []workload.JobSpec{churny("bg", 1)},
+		Foreground: []workload.JobSpec{churny("fg1", 9_000), churny("fg2", 6_000)},
+		Monitors: []workload.MonitorSpec{{
+			Spec:   churny("mon", 2_000),
+			Period: 11_000,
+		}},
+		Quantum: 3_000,
+	}
+	run := func(batched bool) Result {
+		cfg := DefaultConfig()
+		cfg.MemoryBytes = 1 << 20
+		m := New(cfg)
+		s := workload.NewScript(m, 11, spec)
+		var src trace.Source = s
+		if !batched {
+			src = perRefSource{s}
+		}
+		return m.Run(src, 300_000)
+	}
+	batch, perRef := run(true), run(false)
+	if batch != perRef {
+		t.Errorf("batched run diverged from per-reference run:\nbatched %+v\nper-ref %+v", batch, perRef)
+	}
+	if batch.Refs != 300_000 || batch.Pager.PageOuts == 0 || batch.Pager.ZeroFills == 0 {
+		t.Errorf("run too quiet to prove anything: %+v", batch.Pager)
+	}
+}

@@ -65,20 +65,28 @@ func NewMP(cfg Config, n int) *MP {
 	pager := vm.NewPager(pool, ctr, cfg.Timing)
 
 	inj := faultinject.New(cfg.Faults...)
-	pager.Inject = inj
+	// As in New: only fault-plan runs wire the injector into the hot
+	// paths; a nil injector is valid and inert.
+	if inj.Active() {
+		pager.Inject = inj
+	}
 	m := &MP{
 		Cfg: cfg, Bus: coherence.NewBus(), Table: tbl,
 		Pool: pool, Pager: pager, Ctr: ctr, Inject: inj,
 		segNext: KernelSegment + 1,
 	}
-	m.Bus.Inject = inj
+	if inj.Active() {
+		m.Bus.Inject = inj
+	}
 	for i := 0; i < n; i++ {
 		c := cache.New(cfg.CacheBytes)
 		c.AttachBus(m.Bus)
 		x := xlate.New(tbl, c, ctr, cfg.Timing)
 		e := core.NewEngine(c, x, pager, ctr, cfg.Timing, cfg.Dirty, cfg.Ref)
 		e.TagCheckFlush = cfg.TagCheckFlush
-		e.Inject = inj
+		if inj.Active() {
+			e.Inject = inj
+		}
 		m.Caches = append(m.Caches, c)
 		m.CPUs = append(m.CPUs, e)
 	}

@@ -2,7 +2,6 @@ package pte
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/addr"
 )
@@ -15,6 +14,40 @@ const PTESize = 4
 // into the cache with it.
 const PTEsPerBlock = addr.BlockBytes / PTESize
 
+// The first-level array is stored as a directory of fixed-size chunks,
+// allocated on first write: a dense paged image of the logical linear array.
+// Lookup, Set and Update — on the path of every cache miss — are then two
+// array indexings, with no hashing and no map iteration anywhere near the
+// hot path, and Range walks the chunks in address order so iteration is
+// deterministic by construction rather than by sorting.
+const (
+	// chunkShift gives 4096 entries (16 KB) per chunk: one chunk spans
+	// 16 MB of mapped virtual memory, so even the largest sweeps touch a
+	// handful of chunks while the directory stays small.
+	chunkShift   = 12
+	chunkEntries = 1 << chunkShift
+	chunkMask    = chunkEntries - 1
+	// maxGVPN bounds the global page number: 38-bit global addresses over
+	// 4 KB pages. The directory covers the whole space.
+	maxGVPN   = 1 << (addr.GlobalBits - addr.PageShift)
+	numChunks = maxGVPN / chunkEntries
+	// The chunk directory is itself two-level: a flat [numChunks]*chunk
+	// array would be 128 KB of pointers embedded in every Table — zeroed
+	// at construction and walked by every GC scan, which dominated the
+	// cost of short-lived machines (every micro-scenario and model test
+	// builds one). Splitting it 128×128 keeps the embedded top level at
+	// 1 KB and allocates mid nodes only for the address ranges actually
+	// mapped, at the price of one extra dependent load per Lookup.
+	dirShift   = 7
+	dirEntries = 1 << dirShift
+	dirMask    = dirEntries - 1
+	numDirs    = numChunks / dirEntries
+)
+
+type chunk [chunkEntries]Entry
+
+type chunkDir [dirEntries]*chunk
+
 // Table is the two-level page table for the global virtual space.
 //
 // The first level is (logically) a linear array of entries indexed by global
@@ -23,17 +56,19 @@ const PTEsPerBlock = addr.BlockBytes / PTESize
 // address PTEAddr(p) by a shift-and-concatenate. The second level maps the
 // pages of that array and is wired in physical memory; Table exposes the
 // second-level address computation so the translation unit can account for
-// its accesses, and keeps the first-level contents in a sparse map (the
-// simulator never instantiates the 256 MB linear array).
+// its accesses, and materializes the first-level contents chunk by chunk as
+// pages are entered (the simulator never instantiates the full 256 MB
+// array, but what it does instantiate is flat).
 type Table struct {
-	seg     addr.SegmentID // reserved segment holding the first-level array
-	entries map[addr.GVPN]Entry
+	seg  addr.SegmentID // reserved segment holding the first-level array
+	dirs [numDirs]*chunkDir
+	n    int // count of non-zero entries
 }
 
 // NewTable returns an empty page table whose first-level array lives in
 // segment seg. The segment must not be used for anything else.
 func NewTable(seg addr.SegmentID) *Table {
-	return &Table{seg: seg, entries: make(map[addr.GVPN]Entry)}
+	return &Table{seg: seg}
 }
 
 // Segment returns the reserved PTE segment.
@@ -59,55 +94,103 @@ func (t *Table) L2Index(p addr.GVPN) uint64 {
 
 // Lookup returns the entry for page p. A page that has never been entered
 // reads as an all-zero (invalid) entry, exactly like untouched page-table
-// memory.
+// memory. A page number outside the 38-bit global space has no table slot
+// and reads as invalid too.
 func (t *Table) Lookup(p addr.GVPN) Entry {
-	return t.entries[p]
+	ci := uint64(p) >> chunkShift
+	if ci >= numChunks {
+		return 0
+	}
+	d := t.dirs[ci>>dirShift]
+	if d == nil {
+		return 0
+	}
+	c := d[ci&dirMask]
+	if c == nil {
+		return 0
+	}
+	return c[uint64(p)&chunkMask]
 }
 
-// Set stores the entry for page p.
+// Set stores the entry for page p. Setting an entry for a page outside the
+// global space is a hard error: no address computation can have produced it,
+// so it means a corrupt caller, and storing it silently would make Lookup
+// lie about table contents.
 func (t *Table) Set(p addr.GVPN, e Entry) {
-	if e == 0 {
-		delete(t.entries, p)
-		return
+	ci := uint64(p) >> chunkShift
+	if ci >= numChunks {
+		panic(fmt.Sprintf("pte: page %#x outside the %d-bit global space", uint64(p), addr.GlobalBits))
 	}
-	t.entries[p] = e
+	d := t.dirs[ci>>dirShift]
+	if d == nil {
+		if e == 0 {
+			return // clearing an entry that was never set
+		}
+		d = new(chunkDir)
+		t.dirs[ci>>dirShift] = d
+	}
+	c := d[ci&dirMask]
+	if c == nil {
+		if e == 0 {
+			return // clearing an entry that was never set
+		}
+		c = new(chunk)
+		d[ci&dirMask] = c
+	}
+	old := c[uint64(p)&chunkMask]
+	c[uint64(p)&chunkMask] = e
+	switch {
+	case old == 0 && e != 0:
+		t.n++
+	case old != 0 && e == 0:
+		t.n--
+	}
 }
 
 // Update applies fn to the entry for page p and stores the result, returning
 // the new value. This models the software fault handler's read-modify-write
 // of the PTE.
 func (t *Table) Update(p addr.GVPN, fn func(Entry) Entry) Entry {
-	e := fn(t.entries[p])
+	e := fn(t.Lookup(p))
 	t.Set(p, e)
 	return e
 }
 
 // Invalidate clears the entry for page p, returning the old value.
 func (t *Table) Invalidate(p addr.GVPN) Entry {
-	old := t.entries[p]
-	delete(t.entries, p)
+	old := t.Lookup(p)
+	if old != 0 {
+		t.Set(p, 0)
+	}
 	return old
 }
 
 // Len returns the number of valid (non-zero) entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.n }
 
 // Range calls fn for every non-zero entry until fn returns false, in
-// ascending page order. The sparse map's iteration order is randomized per
-// range statement; exposing it to callers would let auditors, dumps and
-// page-out scans observe a different entry order on every run, breaking the
-// byte-identical-replay contract the experiment store depends on. Sorting
-// costs O(n log n) on a structure that is never on the per-reference hot
-// path (Lookup/Set/Update are direct map operations).
+// ascending page order. The chunked array iterates in address order by
+// construction, so auditors, dumps and page-out scans observe the same
+// entry order on every run — the byte-identical-replay contract the
+// experiment store depends on — without the sort the old sparse map needed.
 func (t *Table) Range(fn func(addr.GVPN, Entry) bool) {
-	pages := make([]addr.GVPN, 0, len(t.entries))
-	for p := range t.entries {
-		pages = append(pages, p)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	for _, p := range pages {
-		if !fn(p, t.entries[p]) {
-			return
+	for di, d := range t.dirs {
+		if d == nil {
+			continue
+		}
+		for cj, c := range d {
+			if c == nil {
+				continue
+			}
+			base := addr.GVPN(uint64(di*dirEntries+cj) << chunkShift)
+			for i, e := range c {
+				if e == 0 {
+					continue
+				}
+				if !fn(base+addr.GVPN(i), e) {
+					return
+				}
+			}
 		}
 	}
 }
@@ -127,9 +210,8 @@ func Format() string {
 // segment; with 38-bit global addresses and 4-byte entries it always can,
 // and this guard documents the invariant the address computation relies on.
 func CheckSegmentFits() {
-	maxGVPN := uint64(1) << (addr.GlobalBits - addr.PageShift)
-	if maxGVPN*PTESize > 1<<addr.SegmentShift {
-		panic(fmt.Sprintf("pte: first-level table (%d bytes) exceeds a segment", maxGVPN*PTESize))
+	if uint64(maxGVPN)*PTESize > 1<<addr.SegmentShift {
+		panic(fmt.Sprintf("pte: first-level table (%d bytes) exceeds a segment", uint64(maxGVPN)*PTESize))
 	}
 }
 

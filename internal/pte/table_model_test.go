@@ -1,0 +1,123 @@
+package pte
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// splitmix for the op stream.
+func next(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestTableAgainstMapModel drives the chunked table and a plain sparse map
+// (the structure the table used to be) with the same random stream of
+// Set/Update/Invalidate/Lookup operations, then compares Len and the full
+// Range enumeration. The page universe mixes dense runs (adjacent pages in
+// one chunk), chunk-boundary straddles, and pages scattered across the full
+// 38-bit space, so the chunk directory's edges all get exercised.
+func TestTableAgainstMapModel(t *testing.T) {
+	tbl := NewTable(addr.SegmentID(addr.MaxSegmentID))
+	model := map[addr.GVPN]Entry{}
+	state := uint64(99)
+
+	page := func() addr.GVPN {
+		r := next(&state)
+		switch r % 4 {
+		case 0: // dense low run
+			return addr.GVPN(r % 512)
+		case 1: // straddle a chunk boundary
+			return addr.GVPN(chunkEntries - 8 + r%16)
+		case 2: // mid-space
+			return addr.GVPN((r >> 8) % (maxGVPN / 2))
+		default: // anywhere in the space
+			return addr.GVPN((r >> 8) % maxGVPN)
+		}
+	}
+
+	for step := 0; step < 100000; step++ {
+		p := page()
+		switch next(&state) % 8 {
+		case 0, 1, 2: // set (sometimes to zero, which deletes)
+			e := Entry(next(&state) & 0xffffffff)
+			if next(&state)%4 == 0 {
+				e = 0
+			}
+			tbl.Set(p, e)
+			if e == 0 {
+				delete(model, p)
+			} else {
+				model[p] = e
+			}
+		case 3: // read-modify-write, as the fault handlers do
+			e := tbl.Update(p, func(old Entry) Entry { return old.WithDirty(true).WithReferenced(true) })
+			m := model[p].WithDirty(true).WithReferenced(true)
+			if m == 0 {
+				delete(model, p)
+			} else {
+				model[p] = m
+			}
+			if e != m {
+				t.Fatalf("step %d: Update(%#x) = %#x, model %#x", step, uint64(p), uint32(e), uint32(m))
+			}
+		case 4: // invalidate
+			old := tbl.Invalidate(p)
+			if old != model[p] {
+				t.Fatalf("step %d: Invalidate(%#x) returned %#x, model %#x",
+					step, uint64(p), uint32(old), uint32(model[p]))
+			}
+			delete(model, p)
+		default: // lookup
+			if got, want := tbl.Lookup(p), model[p]; got != want {
+				t.Fatalf("step %d: Lookup(%#x) = %#x, model %#x", step, uint64(p), uint32(got), uint32(want))
+			}
+		}
+		if tbl.Len() != len(model) {
+			t.Fatalf("step %d: Len = %d, model %d", step, tbl.Len(), len(model))
+		}
+	}
+
+	// Full enumeration: same entries, ascending page order.
+	wantPages := make([]addr.GVPN, 0, len(model))
+	for p := range model {
+		wantPages = append(wantPages, p)
+	}
+	sort.Slice(wantPages, func(i, j int) bool { return wantPages[i] < wantPages[j] })
+	i := 0
+	tbl.Range(func(p addr.GVPN, e Entry) bool {
+		if i >= len(wantPages) {
+			t.Fatalf("Range produced extra entry %#x", uint64(p))
+		}
+		if p != wantPages[i] || e != model[p] {
+			t.Fatalf("Range entry %d: (%#x,%#x), model (%#x,%#x)",
+				i, uint64(p), uint32(e), uint64(wantPages[i]), uint32(model[wantPages[i]]))
+		}
+		i++
+		return true
+	})
+	if i != len(wantPages) {
+		t.Fatalf("Range produced %d entries, model holds %d", i, len(wantPages))
+	}
+}
+
+// TestTableOutOfSpacePages pins the boundary contract: pages beyond the
+// 38-bit global space have no table slot, so Lookup reads them as invalid
+// and Set refuses them loudly.
+func TestTableOutOfSpacePages(t *testing.T) {
+	tbl := NewTable(addr.SegmentID(addr.MaxSegmentID))
+	if e := tbl.Lookup(addr.GVPN(maxGVPN)); e != 0 {
+		t.Errorf("out-of-space Lookup = %#x, want 0", uint32(e))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-space Set did not panic")
+		}
+	}()
+	tbl.Set(addr.GVPN(maxGVPN), Make(1, ProtReadWrite))
+}

@@ -113,23 +113,25 @@ func Default() Params {
 }
 
 // BlockFetchCycles is the bus occupancy to fetch one 32-byte block: first
-// word plus seven successors (Table 2.1: 3 + 7x1 = 10 cycles).
-func (p Params) BlockFetchCycles() uint64 {
+// word plus seven successors (Table 2.1: 3 + 7x1 = 10 cycles). The derived
+// quantities take pointer receivers: they run on every cache miss, and a
+// value receiver would copy the whole parameter block per call.
+func (p *Params) BlockFetchCycles() uint64 {
 	return uint64(p.MemFirstWord + (p.WordsPerBlock-1)*p.MemNextWord)
 }
 
 // WriteBackCycles is the bus occupancy to write one block back.
-func (p Params) WriteBackCycles() uint64 { return p.BlockFetchCycles() }
+func (p *Params) WriteBackCycles() uint64 { return p.BlockFetchCycles() }
 
 // MissPenaltyCycles is the cost of a simple cache miss: fetch the block
 // (translation is charged separately by the xlate unit).
-func (p Params) MissPenaltyCycles() uint64 { return p.BlockFetchCycles() }
+func (p *Params) MissPenaltyCycles() uint64 { return p.BlockFetchCycles() }
 
 // Seconds converts processor cycles to seconds.
-func (p Params) Seconds(cycles uint64) float64 {
+func (p *Params) Seconds(cycles uint64) float64 {
 	return float64(cycles) * p.ProcessorCycleNS * 1e-9
 }
 
 // MIPS returns the approximate native instruction rate implied by the cycle
 // time, for reporting.
-func (p Params) MIPS() float64 { return 1e3 / p.ProcessorCycleNS }
+func (p *Params) MIPS() float64 { return 1e3 / p.ProcessorCycleNS }

@@ -61,6 +61,18 @@ type Source interface {
 	Next() (Rec, bool)
 }
 
+// BatchSource is a Source that can fill a caller-owned buffer with many
+// records per call. The records must be exactly those the same number of
+// successive Next calls would have returned — batching changes dispatch
+// cost, never the stream — which is what lets the machine runner consume
+// buffers while staying bit-identical to per-reference pulls.
+type BatchSource interface {
+	Source
+	// NextBatch fills buf with up to len(buf) records and returns how many
+	// it produced. Zero means the stream is exhausted (len(buf) > 0).
+	NextBatch(buf []Rec) int
+}
+
 // SliceSource replays a fixed slice of records.
 type SliceSource struct {
 	recs []Rec
@@ -78,6 +90,13 @@ func (s *SliceSource) Next() (Rec, bool) {
 	r := s.recs[s.i]
 	s.i++
 	return r, true
+}
+
+// NextBatch implements BatchSource.
+func (s *SliceSource) NextBatch(buf []Rec) int {
+	n := copy(buf, s.recs[s.i:])
+	s.i += n
+	return n
 }
 
 // Reset rewinds the source for another replay.

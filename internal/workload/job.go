@@ -102,6 +102,9 @@ func (p JobParams) valid() {
 		panic("workload: PIFetch out of range")
 	case p.WriteRO+p.WriteRMW > 1:
 		panic("workload: writing-pass intents exceed 1")
+	case p.HeapPages > stackBase-heapBase:
+		panic(fmt.Sprintf("workload: HeapPages %d exceeds the %d-page heap area below the stack",
+			p.HeapPages, stackBase-heapBase))
 	}
 }
 
@@ -220,6 +223,27 @@ func (j *Job) Teardown() {
 	j.env.FreeSegment(j.seg)
 }
 
+// StepHorizon implements proc.Horizoned: a lower bound on how many Step
+// calls are guaranteed to neither release a region nor run past Done. The
+// only release inside Step is heap generation turnover, reachable only when
+// no pending references remain and the generation is exhausted. Let
+// Φ = npend + (heap blocks − heapCursor): a turnover step requires Φ ≤ 0,
+// and no Step decreases Φ by more than one — a pending pop takes one from
+// npend, an allocation takes one block but pushes at least one pending
+// write, every other operation leaves Φ level or higher. So Φ steps are
+// always safe, and refsLeft bounds Done the same way (each Step consumes
+// exactly one reference). Under-estimating (the RNG may never pick an
+// allocation) only costs the batching scheduler an occasional extra flush.
+func (j *Job) StepHorizon() int64 {
+	h := j.refsLeft
+	if j.p.PAlloc > 0 && j.heap.N > 0 {
+		if phi := int64(j.npend) + int64(j.heap.N*addr.BlocksPerPage-j.heapCursor); phi < h {
+			h = phi
+		}
+	}
+	return h
+}
+
 // Step implements proc.Runner.
 func (j *Job) Step() trace.Rec {
 	j.refsLeft--
@@ -233,6 +257,28 @@ func (j *Job) Step() trace.Rec {
 	j.dataOp()
 	j.npend--
 	return j.pending[j.npend]
+}
+
+// StepBatch implements proc.BatchStepper: it emits exactly the records
+// len(buf) successive Step calls would, in one concrete call. The caller
+// bounds len(buf) by StepHorizon, which is what lets the loop skip the
+// per-step Done and turnover checks.
+func (j *Job) StepBatch(buf []trace.Rec) {
+	j.refsLeft -= int64(len(buf))
+	for i := range buf {
+		if j.npend > 0 {
+			j.npend--
+			buf[i] = j.pending[j.npend]
+			continue
+		}
+		if j.rng.Chance(j.p.PIFetch) {
+			buf[i] = j.ifetch()
+			continue
+		}
+		j.dataOp()
+		j.npend--
+		buf[i] = j.pending[j.npend]
+	}
 }
 
 // push stacks a pending reference (LIFO; pushers push in reverse order).
@@ -358,8 +404,15 @@ func (j *Job) newHeapGeneration() {
 	j.env.ReleaseRegion(j.heap)
 	j.heapGen++
 	// Generations cycle through a fixed set of slots; a slot's previous
-	// occupant has always been released by then.
-	slot := j.heapGen % ((stackBase - heapBase) / heapStride)
+	// occupant has always been released by then. The slot count is derived
+	// from the generation size, not just the stride: the last slot's
+	// generation must still end at or below stackBase, or a HeapPages
+	// larger than the stride would walk the 96th-odd generation into the
+	// stack area — silently, whenever the job has no stack region there to
+	// collide with. (valid() has already rejected generations larger than
+	// the whole heap area, so slots >= 1.)
+	slots := (stackBase - heapBase - j.p.HeapPages) / heapStride
+	slot := j.heapGen % (slots + 1)
 	j.heap = j.env.AddRegion(addr.PageIn(j.seg, heapBase+slot*heapStride), j.p.HeapPages, vm.Heap)
 	j.heapCursor = 0
 }

@@ -209,6 +209,45 @@ func TestHeapChurnAllocatesFreshRegions(t *testing.T) {
 	}
 }
 
+// TestHeapChurnStaysBelowStack churns far past the slot wrap with
+// generations bigger than the slot stride — the configuration that used to
+// walk the 96th generation across stackBase into the stack area. The fake
+// env panics on any region overlap, and every generation's extent is checked
+// against the layout bounds directly.
+func TestHeapChurnStaysBelowStack(t *testing.T) {
+	env := newFakeEnv()
+	p := testParams()
+	p.HeapPages = heapStride + 200 // generation crosses into the next slot
+	p.StackPages = 4               // a stack region to collide with at stackBase
+	j := NewJob(env, NewRNG(4), p, nil)
+	segBase := uint64(addr.PageIn(j.seg, 0))
+	for gen := 0; gen < 300; gen++ {
+		j.newHeapGeneration()
+		start := uint64(j.heap.Start) - segBase
+		end := uint64(j.heap.End()) - segBase
+		if start < heapBase || end > stackBase {
+			t.Fatalf("generation %d spans pages [%d,%d), outside the heap area [%d,%d)",
+				j.heapGen, start, end, heapBase, stackBase)
+		}
+	}
+	if j.heapGen <= (stackBase-heapBase)/heapStride {
+		t.Fatal("churn did not pass the slot wrap")
+	}
+}
+
+// TestHeapPagesOversizedPanics rejects a generation larger than the whole
+// heap area loudly instead of colliding at slot 0.
+func TestHeapPagesOversizedPanics(t *testing.T) {
+	p := testParams()
+	p.HeapPages = stackBase - heapBase + 1
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized HeapPages accepted")
+		}
+	}()
+	NewJob(newFakeEnv(), NewRNG(1), p, nil)
+}
+
 func TestSharedCodeFetched(t *testing.T) {
 	env := newFakeEnv()
 	shared := env.AddRegion(addr.PageIn(200, 0), 8, vm.Code)

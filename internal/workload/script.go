@@ -208,6 +208,59 @@ func (s *Script) Next() (trace.Rec, bool) {
 	return s.sched.Next()
 }
 
+// NextBatch implements trace.BatchSource, producing the identical reference
+// sequence Next would. The only per-reference work Next does above the
+// scheduler is the monitor respawn check, and a monitor can only fire at the
+// reference where refCount reaches its due point — so the stream is cut into
+// windows guaranteed to contain no due point, generated in bulk by the
+// scheduler, and single-stepped through the due points themselves. A monitor
+// that is still up bounds the window the same way: if it exits mid-window
+// its successor cannot be due before the recorded due point either.
+func (s *Script) NextBatch(buf []trace.Rec) int {
+	n := 0
+	for n < len(buf) {
+		win := int64(len(buf) - n)
+		due := false
+		for i := range s.monitorDue {
+			d := s.monitorDue[i] - s.refCount
+			if d <= 1 {
+				// A monitor decision lands on the very next reference
+				// (or is overdue, waiting for the running instance to
+				// exit): take the exact per-reference path.
+				due = true
+				break
+			}
+			if d-1 < win {
+				win = d - 1
+			}
+		}
+		if due {
+			if n > 0 {
+				// The per-reference path can reap a finished task or turn a
+				// heap generation over, releasing regions the buffered
+				// references still refer to. Flush so the machine replays
+				// them first; the next call re-enters here with an empty
+				// buffer.
+				return n
+			}
+			r, ok := s.Next()
+			if !ok {
+				return n
+			}
+			buf[n] = r
+			n++
+			continue
+		}
+		k := s.sched.NextBatch(buf[n : n+int(win)])
+		s.refCount += int64(k)
+		n += k
+		if k < int(win) {
+			return n // every task finished
+		}
+	}
+	return n
+}
+
 // Scheduler exposes the underlying scheduler for inspection.
 func (s *Script) Scheduler() *proc.Scheduler { return s.sched }
 

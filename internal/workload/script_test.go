@@ -191,6 +191,47 @@ func TestScriptDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestScriptBatchMatchesNext(t *testing.T) {
+	// NextBatch must yield bit-for-bit the stream Next does — across
+	// monitor spawns (period 5000 in miniSpec), monitor exits, foreground
+	// cycling, and quantum switches — whatever the buffer sizes. Awkward
+	// buffer sizes are the point: they force windows to split around the
+	// monitor due points at varying offsets.
+	const total = 120_000
+	ref := NewScript(newFakeEnv(), 7, miniSpec())
+	want := make([]trace.Rec, total)
+	for i := range want {
+		r, ok := ref.Next()
+		if !ok {
+			t.Fatal("reference stream ran dry")
+		}
+		want[i] = r
+	}
+
+	for _, sizes := range [][]int{{1}, {3, 17, 101}, {256}, {4096}, {4096, 1, 33}} {
+		s := NewScript(newFakeEnv(), 7, miniSpec())
+		got := make([]trace.Rec, 0, total)
+		for si := 0; len(got) < total; si++ {
+			n := sizes[si%len(sizes)]
+			if rem := total - len(got); n > rem {
+				n = rem
+			}
+			buf := make([]trace.Rec, n)
+			k := s.NextBatch(buf)
+			if k == 0 {
+				t.Fatalf("sizes %v: batch stream ran dry at ref %d", sizes, len(got))
+			}
+			got = append(got, buf[:k]...)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sizes %v: stream diverged at ref %d: batch %+v, next %+v",
+					sizes, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestSpecsInstantiate(t *testing.T) {
 	// Every shipped spec must build and stream against a fake env.
 	specs := []Spec{Workload1Spec(), SLCSpec()}

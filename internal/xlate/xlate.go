@@ -55,21 +55,35 @@ type Result struct {
 // cache miss (and by the WRITE dirty-bit policy's PTE check on write hits to
 // clean blocks).
 func (u *Unit) Translate(p addr.GVPN) Result {
-	u.ctr.Inc(counters.EvXlateWalk)
-	res := Result{Cycles: uint64(u.tp.PTECheckCycles)}
-
-	pteBlock := u.tbl.PTEAddr(p).Block()
-	if u.c.Probe(pteBlock) != nil {
-		u.ctr.Inc(counters.EvPTEHit)
-		res.PTEHit = true
-		res.Entry = u.tbl.Lookup(p)
-		return res
+	if entry, cycles, hit := u.TranslateCached(p); hit {
+		return Result{Entry: entry, Cycles: cycles, PTEHit: true}
 	}
+	return u.TranslateMiss(p)
+}
 
-	// First-level PTE not cached: read the wired second-level PTE directly
-	// from memory, then fetch the first-level PTE block into the cache —
-	// over the snooped bus, so another controller holding the block
-	// exclusively supplies it and degrades to shared ownership.
+// TranslateCached is the common translation case, returned in registers: the
+// first-level PTE block is already in the cache, so the walk costs only the
+// in-cache check. When it reports false the caller must follow with
+// TranslateMiss — the walk has been counted but nothing fetched. The split
+// exists for the engine's miss path, where translation runs on every cache
+// miss and the Result struct is too wide to return by value for a hit.
+func (u *Unit) TranslateCached(p addr.GVPN) (pte.Entry, uint64, bool) {
+	u.ctr.Inc(counters.EvXlateWalk)
+	if _, hit := u.c.Probe(u.tbl.PTEAddr(p).Block()); !hit {
+		return 0, 0, false
+	}
+	u.ctr.Inc(counters.EvPTEHit)
+	return u.tbl.Lookup(p), uint64(u.tp.PTECheckCycles), true
+}
+
+// TranslateMiss completes a translation whose first-level PTE block missed
+// in the cache (TranslateCached returned false): read the wired second-level
+// PTE directly from memory, then fetch the first-level PTE block into the
+// cache — over the snooped bus, so another controller holding the block
+// exclusively supplies it and degrades to shared ownership.
+func (u *Unit) TranslateMiss(p addr.GVPN) Result {
+	res := Result{Cycles: uint64(u.tp.PTECheckCycles)}
+	pteBlock := u.tbl.PTEAddr(p).Block()
 	u.ctr.Inc(counters.EvPTEMiss)
 	u.ctr.Inc(counters.EvL2Access)
 	u.ctr.Inc(counters.EvBusRead)
@@ -92,17 +106,17 @@ func (u *Unit) Translate(p addr.GVPN) Result {
 func (u *Unit) UpdatePTE(p addr.GVPN, fn func(pte.Entry) pte.Entry) (pte.Entry, uint64) {
 	var cycles uint64
 	pteBlock := u.tbl.PTEAddr(p).Block()
-	if l := u.c.Probe(pteBlock); l != nil {
+	if l, hit := u.c.Probe(pteBlock); hit {
 		// A kernel store to a shared PTE block must take ownership:
 		// other processors' cached copies of the block are invalidated
 		// through the bus, which is how their in-cache "TLB entries"
 		// learn the PTE changed.
-		ns, op, need := coherence.OnLocalWrite(l.State)
+		ns, op, need := coherence.OnLocalWrite(l.State())
 		if need {
 			u.c.IssueBus(op, pteBlock)
 		}
-		l.State = ns
-		l.BlockDirty = true
+		l.SetState(ns)
+		l.SetBlockDirty(true)
 	} else {
 		u.ctr.Inc(counters.EvBusRead)
 		cycles += uint64(u.tp.L2WordCycles) + u.tp.BlockFetchCycles()

@@ -32,8 +32,8 @@ func TestTranslateMissThenHit(t *testing.T) {
 	if !r1.Entry.Valid() || r1.Entry.PFN() != 7 {
 		t.Errorf("entry = %v", r1.Entry)
 	}
-	wantMiss := uint64(timing.Default().PTECheckCycles) +
-		uint64(timing.Default().L2WordCycles) + timing.Default().BlockFetchCycles()
+	tp := timing.Default()
+	wantMiss := uint64(tp.PTECheckCycles) + uint64(tp.L2WordCycles) + tp.BlockFetchCycles()
 	if r1.Cycles != wantMiss {
 		t.Errorf("miss cycles = %d, want %d", r1.Cycles, wantMiss)
 	}
@@ -113,8 +113,8 @@ func TestUpdatePTEWhenCached(t *testing.T) {
 	if cycles != 0 {
 		t.Errorf("cached PTE update cost %d cycles", cycles)
 	}
-	l := c.Probe(u.Table().PTEAddr(p).Block())
-	if l == nil || !l.BlockDirty {
+	l, hit := c.Probe(u.Table().PTEAddr(p).Block())
+	if !hit || !l.BlockDirty() {
 		t.Error("PTE block not marked modified after software update")
 	}
 }
