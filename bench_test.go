@@ -279,3 +279,73 @@ func itoa(n int) string {
 	}
 	return string(rune('0' + n))
 }
+
+// BenchmarkWorkloadGenBatch measures batched reference generation alone
+// (NextBatch, as the sampling profiler and measuring pass consume the
+// stream), the floor under every sampled-run projection: even a skipped
+// gap costs this much per reference.
+func BenchmarkWorkloadGenBatch(b *testing.B) {
+	cfg := DefaultConfig()
+	m := NewMachine(cfg)
+	script := workload.NewScript(m, 1, Workload1())
+	buf := make([]trace.Rec, 4096)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := b.N - done
+		if n > len(buf) {
+			n = len(buf)
+		}
+		k := script.NextBatch(buf[:n])
+		if k == 0 {
+			b.Fatal("generator ran dry")
+		}
+		done += k
+	}
+}
+
+// BenchmarkTouchWarm measures functional warming throughput (generation
+// plus Engine.Touch per reference): the rate at which the sampled
+// measuring pass advances cache and VM state between representative
+// intervals. The gap between this and BenchmarkEndToEnd is what interval
+// sampling saves per gap reference.
+func BenchmarkTouchWarm(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MemoryBytes = 6 << 20
+	m := NewMachine(cfg)
+	script := workload.NewScript(m, 1, SLC())
+	buf := make([]trace.Rec, 4096)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := b.N - done
+		if n > len(buf) {
+			n = len(buf)
+		}
+		k := script.NextBatch(buf[:n])
+		if k == 0 {
+			b.Fatal("generator ran dry")
+		}
+		m.Engine.TouchBatch(buf[:k])
+		done += k
+	}
+}
+
+// BenchmarkMemorySweepSampledCell estimates one sweep cell by interval
+// sampling, end to end: profile, cluster, exact prefix, warmed
+// representatives, tail warming. Reported alongside
+// BenchmarkMemorySweepParallel it shows what the estimator costs where the
+// exact sweep's price is already known.
+func BenchmarkMemorySweepSampledCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := MemorySweepSampled(MemorySweepOptions{
+			Workloads: []core.WorkloadName{core.SLC},
+			SizesMB:   []int{6},
+			Policies:  []RefPolicy{RefMISS},
+			Refs:      4_000_000,
+			Seed:      uint64(i + 1),
+		}, SampleOptions{IntervalLen: 250_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Estimate.SimulatedRefs), "simrefs")
+	}
+}

@@ -26,10 +26,21 @@
 //	sweep -remote http://127.0.0.1:7421 -csv   # served (and memoized) by spurd
 //	sweep -journal s.journal -csv              # checkpoint as it goes
 //	sweep -resume s.journal -csv               # pick up after a crash
+//
+// With -sample, the sweep is estimated by representative-interval sampling
+// instead of simulated exactly: the stream is profiled into intervals,
+// clustered into phases, and only one warmed interval per phase is
+// simulated. The output is CSV with projected totals and CI95 half-width
+// columns. -validate-sample runs the estimator head-to-head against full
+// simulation and exits non-zero when any tracked metric misses its bound.
+//
+//	sweep -sample -refs 1000000000 -csv        # paper-scale projection
+//	sweep -validate-sample -validate-report r.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +66,12 @@ func main() {
 	remote := flag.String("remote", "", "spurd base URL; the sweep is served (and memoized) by the daemon")
 	journalPath := flag.String("journal", "", "checkpoint every completed run to this journal (must not exist yet)")
 	resumePath := flag.String("resume", "", "resume from (and keep appending to) an existing checkpoint journal")
+	sampled := flag.Bool("sample", false, "estimate by representative-interval sampling instead of exact simulation (CSV output)")
+	intervals := flag.Int("intervals", 0, "with -sample: profiling interval count (default 128)")
+	intervalLen := flag.Int64("interval-len", 0, "with -sample: interval length in references (overrides -intervals)")
+	warmup := flag.Int64("warmup", 0, "with -sample: cache-warming references before each representative interval (default 2x interval)")
+	validate := flag.Bool("validate-sample", false, "run the sampling estimator against full simulation and exit 1 on any bound violation")
+	validateReport := flag.String("validate-report", "", "with -validate-sample: write the per-metric check report as JSON to this file")
 	flag.Parse()
 
 	// Validate before anything runs: a zero or negative count would
@@ -85,6 +102,18 @@ func main() {
 	if ckptPath != "" && *remote != "" {
 		usage("-journal/-resume checkpoint local sweeps; the daemon journals its own jobs")
 	}
+	if !*sampled && !*validate && (*intervals != 0 || *intervalLen != 0 || *warmup != 0) {
+		usage("-intervals/-interval-len/-warmup require -sample or -validate-sample")
+	}
+	if *intervals < 0 || *intervalLen < 0 || *warmup < 0 {
+		usage("sampling parameters must be non-negative")
+	}
+	if *validateReport != "" && !*validate {
+		usage("-validate-report requires -validate-sample")
+	}
+	if *validate && *remote != "" {
+		usage("-validate-sample runs locally: it needs the sampled and full pipelines side by side")
+	}
 
 	var sizesMB []int
 	if *sizes != "" {
@@ -108,8 +137,28 @@ func main() {
 		usage("unknown workload %q", *wl)
 	}
 
+	so := spur.SampleOptions{Intervals: *intervals, IntervalLen: *intervalLen, Warmup: *warmup}
+
+	if *validate {
+		// -refs keeps its own meaning here: unset, the validation runs at
+		// its acceptance scale (10M refs), not the sweep default.
+		refsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "refs" {
+				refsSet = true
+			}
+		})
+		vrefs := int64(0)
+		if refsSet {
+			vrefs = *refs
+		}
+		runValidate(vrefs, *seed, sizesMB, workloads, so, *validateReport)
+		return
+	}
+
 	if *remote != "" {
-		runRemote(*remote, workloads, sizesMB, *refs, *seed, *reps, *csv)
+		runRemote(*remote, workloads, sizesMB, *refs, *seed, *reps, *csv,
+			*sampled, *intervals, *intervalLen, *warmup)
 		return
 	}
 
@@ -124,6 +173,24 @@ func main() {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
+	}
+
+	if *sampled {
+		if ckptPath != "" {
+			if err := os.MkdirAll(ckptPath, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+				os.Exit(1)
+			}
+			so.JournalDir, so.Resume = ckptPath, ckptResume
+		}
+		fmt.Fprintf(os.Stderr, "sampling memory sizes (%d reps/cell, %d at a time)...\n", *reps, *par)
+		rows, err := spur.MemorySweepSampled(opts, so)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(spur.SampledSweepCSV(rows))
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "sweeping memory sizes (%d reps/cell, %d at a time)...\n", *reps, *par)
@@ -152,14 +219,59 @@ func main() {
 	printPrediction()
 }
 
+// runValidate is the -validate-sample mode: the estimator head-to-head
+// against full simulation on the same stream seeds, with a JSON report for
+// CI and a non-zero exit when any metric misses its bound.
+func runValidate(refs int64, seed uint64, sizesMB []int, workloads []core.WorkloadName,
+	so spur.SampleOptions, reportPath string) {
+
+	vo := spur.ValidateOptions{
+		Refs: refs, Seed: seed, SizesMB: sizesMB, Workloads: workloads, Sample: so,
+	}
+	fmt.Fprintln(os.Stderr, "sweep: validating sampled estimates against full simulation...")
+	rep, err := spur.ValidateSampling(vo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+	if reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(reportPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: writing %s: %v\n", reportPath, err)
+			os.Exit(1)
+		}
+	}
+	fails := rep.Failures()
+	fmt.Printf("validated %d checks at %d refs (interval %d, k %d, warmup %d, prefix %d): %d failed\n",
+		len(rep.Checks), rep.Refs, rep.IntervalLen, rep.K, rep.Warmup, rep.Prefix, len(fails))
+	for _, c := range fails {
+		bound := fmt.Sprintf("CI95 %.3g", c.CI95)
+		if c.Bound > 0 {
+			bound = fmt.Sprintf("bound %.3g", c.Bound)
+		}
+		fmt.Printf("FAIL %s %dMB %s %s: est %.6g vs full %.6g (rel err %.4f, %s)\n",
+			c.Workload, c.MemMB, c.Policy, c.Metric, c.Est, c.Full, c.RelErr, bound)
+	}
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}
+
 // runRemote serves the sweep through a spurd daemon. The daemon renders
 // with the same code paths, so the bytes match a local run exactly.
-func runRemote(base string, workloads []core.WorkloadName, sizesMB []int, refs int64, seed uint64, reps int, csv bool) {
+func runRemote(base string, workloads []core.WorkloadName, sizesMB []int, refs int64, seed uint64, reps int, csv bool,
+	sampled bool, intervals int, intervalLen, warmup int64) {
 	req := client.SweepRequest{SizesMB: sizesMB, Refs: refs, Seed: seed, Reps: reps}
 	for _, w := range workloads {
 		req.Workloads = append(req.Workloads, string(w))
 	}
-	if !csv {
+	if sampled {
+		req.Sample = true
+		req.Intervals, req.IntervalLen, req.Warmup = intervals, intervalLen, warmup
+	} else if !csv {
 		req.Format = client.FormatChart
 	}
 	body, meta, err := client.New(base).Sweep(context.Background(), req)
@@ -173,7 +285,7 @@ func runRemote(base string, workloads []core.WorkloadName, sizesMB []int, refs i
 	}
 	fmt.Fprintf(os.Stderr, "sweep: remote %s (%s, key %.12s...)\n", base, from, meta.Key)
 	fmt.Print(string(body))
-	if !csv {
+	if !csv && !sampled {
 		printPrediction()
 	}
 }

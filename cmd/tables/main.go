@@ -41,6 +41,10 @@ func main() {
 	remote := flag.String("remote", "", "spurd base URL; tables are served (and memoized) by the daemon")
 	journalPath := flag.String("journal", "", "checkpoint Table 4.1 runs to this journal (requires -t 4.1; must not exist yet)")
 	resumePath := flag.String("resume", "", "resume Table 4.1 from (and keep appending to) an existing checkpoint journal (requires -t 4.1)")
+	sampled := flag.Bool("sample", false, "estimate Table 4.1 by representative-interval sampling (requires -t 4.1; error bars replace exact counts)")
+	intervals := flag.Int("intervals", 0, "with -sample: profiling interval count (default 128)")
+	intervalLen := flag.Int64("interval-len", 0, "with -sample: interval length in references (overrides -intervals)")
+	warmup := flag.Int64("warmup", 0, "with -sample: cache-warming references before each representative interval (default 2x interval)")
 	flag.Parse()
 
 	usage := func(format string, args ...any) {
@@ -59,6 +63,22 @@ func main() {
 	if *journalPath != "" && *resumePath != "" {
 		usage("-journal starts a fresh checkpoint and -resume continues one; pick one")
 	}
+	if !*sampled && (*intervals != 0 || *intervalLen != 0 || *warmup != 0) {
+		usage("-intervals/-interval-len/-warmup require -sample")
+	}
+	if *intervals < 0 || *intervalLen < 0 || *warmup < 0 {
+		usage("sampling parameters must be non-negative")
+	}
+	if *sampled {
+		// Sampling pays off on the long table; the short ones finish exactly
+		// in seconds anyway.
+		if *which != "4.1" {
+			usage("-sample estimates Table 4.1 only (use -t 4.1)")
+		}
+		if *remote != "" {
+			usage("-sample runs locally; use `sweep -sample -remote` for daemon-served estimates")
+		}
+	}
 	ckptPath, ckptResume := *journalPath, false
 	if *resumePath != "" {
 		ckptPath, ckptResume = *resumePath, true
@@ -74,11 +94,16 @@ func main() {
 		}
 	}
 
+	var so *spur.SampleOptions
+	if *sampled {
+		so = &spur.SampleOptions{Intervals: *intervals, IntervalLen: *intervalLen, Warmup: *warmup}
+	}
+
 	var docs []report.Doc
 	if *remote != "" {
 		docs = remoteDocs(*remote, *which, *refs, *reps, *seed, *paper, usage)
 	} else {
-		docs = localDocs(*which, *refs, *reps, *seed, *par, *paper, ckptPath, ckptResume, usage)
+		docs = localDocs(*which, *refs, *reps, *seed, *par, *paper, ckptPath, ckptResume, so, usage)
 	}
 
 	if *jsonOut {
@@ -102,7 +127,7 @@ func main() {
 
 // localDocs computes the requested artifacts in-process, in the shared
 // report.Doc form.
-func localDocs(which string, refs int64, reps int, seed uint64, par int, paper bool, ckptPath string, ckptResume bool, usage func(string, ...any)) []report.Doc {
+func localDocs(which string, refs int64, reps int, seed uint64, par int, paper bool, ckptPath string, ckptResume bool, so *spur.SampleOptions, usage func(string, ...any)) []report.Doc {
 	// "all" covers the paper's tables and figures; the extension sweeps
 	// run only when asked for by name.
 	want := func(name string) bool {
@@ -149,20 +174,38 @@ func localDocs(which string, refs int64, reps int, seed uint64, par int, paper b
 		add(spur.RenderTable35(spur.Table35(seed), paper).Doc())
 	}
 	if want("4.1") {
-		fmt.Fprintln(os.Stderr, "running Table 4.1 reference-bit policy sweeps (this is the long one)...")
 		t41 := spur.Table41Options{Refs: refs, Reps: reps, Seed: seed, Parallel: par}
-		var rows []spur.Table41Row
-		if ckptPath != "" {
-			var err error
-			rows, err = spur.Table41Journaled(t41, ckptPath, ckptResume)
+		if so != nil {
+			fmt.Fprintln(os.Stderr, "estimating Table 4.1 from representative intervals...")
+			sopts := *so
+			if ckptPath != "" {
+				if err := os.MkdirAll(ckptPath, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+					os.Exit(1)
+				}
+				sopts.JournalDir, sopts.Resume = ckptPath, ckptResume
+			}
+			rows, err := spur.Table41Sampled(t41, sopts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 				os.Exit(1)
 			}
+			add(spur.RenderTable41Sampled(rows).Doc())
 		} else {
-			rows = spur.Table41(t41)
+			fmt.Fprintln(os.Stderr, "running Table 4.1 reference-bit policy sweeps (this is the long one)...")
+			var rows []spur.Table41Row
+			if ckptPath != "" {
+				var err error
+				rows, err = spur.Table41Journaled(t41, ckptPath, ckptResume)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				rows = spur.Table41(t41)
+			}
+			add(spur.RenderTable41(rows, paper).Doc())
 		}
-		add(spur.RenderTable41(rows, paper).Doc())
 	}
 	if want("ext") {
 		fmt.Fprintln(os.Stderr, "running extension sweeps (cache size, fault-handler cost)...")

@@ -20,6 +20,7 @@ import (
 
 	spur "repro"
 	"repro/internal/core"
+	"repro/internal/machine"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -104,18 +105,8 @@ func main() {
 		w = trace.NewWriter(f)
 	}
 	sum := trace.NewSummary()
-	for i := int64(0); i < *refs; i++ {
-		rec, ok := script.Next()
-		if !ok {
-			break
-		}
-		sum.Add(rec)
-		if w != nil {
-			if err := w.Write(rec); err != nil {
-				die(err)
-			}
-		}
-		m.Engine.Access(rec)
+	if err := capture(m, script, *refs, w, sum); err != nil {
+		die(err)
 	}
 	if w != nil {
 		if err := w.Flush(); err != nil {
@@ -124,4 +115,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", w.Count(), *out)
 	}
 	fmt.Println(sum)
+}
+
+// capture drives the generator in batches, recording each reference before
+// replaying it into the machine. NextBatch cuts the stream at scheduler
+// decision points, so every batch is safe to record and then replay: region
+// lifecycle events that could remap the recorded addresses happen only
+// between batches. The stream is bit-for-bit what the per-reference path
+// produces.
+func capture(m *machine.Machine, script *workload.Script, refs int64, w *trace.Writer, sum *trace.Summary) error {
+	buf := make([]trace.Rec, 4096)
+	for pos := int64(0); pos < refs; {
+		n := int64(len(buf))
+		if refs-pos < n {
+			n = refs - pos
+		}
+		k := script.NextBatch(buf[:n])
+		if k == 0 {
+			break
+		}
+		for _, rec := range buf[:k] {
+			sum.Add(rec)
+			if w != nil {
+				if err := w.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+		m.Engine.AccessBatch(buf[:k])
+		pos += int64(k)
+	}
+	return nil
 }

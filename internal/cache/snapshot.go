@@ -1,0 +1,33 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// ExportState returns copies of the packed line arrays — the complete
+// Figure 3.2b state of every frame. Together with the PTE contents this is
+// everything a warmed-cache checkpoint needs: the tag array and one meta
+// byte per frame (coherency state, protection, both dirty bits, the PTE and
+// by-write flags).
+func (c *Cache) ExportState() (tags []addr.BlockAddr, meta []uint8) {
+	tags = make([]addr.BlockAddr, len(c.tags))
+	copy(tags, c.tags)
+	meta = make([]uint8, len(c.meta))
+	copy(meta, c.meta)
+	return tags, meta
+}
+
+// RestoreState overwrites the line arrays with a previously exported state.
+// The geometry must match: a snapshot of a differently sized cache cannot
+// mean anything here, so a length mismatch is an error, not a resize.
+func (c *Cache) RestoreState(tags []addr.BlockAddr, meta []uint8) error {
+	if len(tags) != len(c.tags) || len(meta) != len(c.meta) {
+		return fmt.Errorf("cache: snapshot geometry %d/%d lines does not match this %d-line cache",
+			len(tags), len(meta), len(c.tags))
+	}
+	copy(c.tags, tags)
+	copy(c.meta, meta)
+	return nil
+}

@@ -48,22 +48,31 @@ type Events struct {
 // EventsFrom extracts the event vocabulary from a run's counters, pager
 // statistics, and elapsed time.
 func EventsFrom(ctr *counters.Set, st vm.Stats, elapsed float64) Events {
+	return EventsFromShadow(ctr.Snapshot(), st, elapsed)
+}
+
+// EventsFromShadow extracts the event vocabulary from a raw software-shadow
+// vector instead of a live counter set. The sampling engine uses it on
+// per-interval shadow *differences*, so the mapping from counter events to
+// the paper's vocabulary lives in exactly one place for full runs and
+// sampled intervals alike.
+func EventsFromShadow(sh [counters.NumEvents]uint64, st vm.Stats, elapsed float64) Events {
 	return Events{
-		Nds:   ctr.Count(counters.EvDirtyFault),
-		Nzfod: ctr.Count(counters.EvZeroFillFault),
-		Nef:   ctr.Count(counters.EvExcessFault),
+		Nds:   sh[counters.EvDirtyFault],
+		Nzfod: sh[counters.EvZeroFillFault],
+		Nef:   sh[counters.EvExcessFault],
 		// The SPUR and PROT mechanisms fire on the same stale blocks;
 		// whichever ran, its refresh count is N_dm.
-		Ndm:            ctr.Count(counters.EvDirtyBitMiss) + ctr.Count(counters.EvProtBitMiss),
-		NwHit:          ctr.Count(counters.EvWriteHitBlock),
-		NwMiss:         ctr.Count(counters.EvWriteMissBlock),
+		Ndm:            sh[counters.EvDirtyBitMiss] + sh[counters.EvProtBitMiss],
+		NwHit:          sh[counters.EvWriteHitBlock],
+		NwMiss:         sh[counters.EvWriteMissBlock],
 		PageIns:        st.PageIns,
 		PageOuts:       st.PageOuts,
-		RefFaults:      ctr.Count(counters.EvRefFault),
-		RefClears:      ctr.Count(counters.EvRefClear),
-		PageFlushes:    ctr.Count(counters.EvPageFlush),
-		Refs:           ctr.Count(counters.EvIFetch) + ctr.Count(counters.EvRead) + ctr.Count(counters.EvWrite),
-		Misses:         ctr.Count(counters.EvIFetchMiss) + ctr.Count(counters.EvReadMiss) + ctr.Count(counters.EvWriteMiss),
+		RefFaults:      sh[counters.EvRefFault],
+		RefClears:      sh[counters.EvRefClear],
+		PageFlushes:    sh[counters.EvPageFlush],
+		Refs:           sh[counters.EvIFetch] + sh[counters.EvRead] + sh[counters.EvWrite],
+		Misses:         sh[counters.EvIFetchMiss] + sh[counters.EvReadMiss] + sh[counters.EvWriteMiss],
 		ElapsedSeconds: elapsed,
 	}
 }

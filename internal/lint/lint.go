@@ -99,12 +99,16 @@ var modelPackages = map[string]bool{
 	"repro/internal/mem":       true,
 	"repro/internal/pte":       true,
 	"repro/internal/proc":      true,
-	"repro/internal/stats":     true,
-	"repro/internal/timing":    true,
-	"repro/internal/trace":     true,
-	"repro/internal/vm":        true,
-	"repro/internal/workload":  true,
-	"repro/internal/xlate":     true,
+	// The sampling engine replays streams and restores snapshots; a clock
+	// read or map-order dependence anywhere in it breaks byte-identical
+	// resume.
+	"repro/internal/sample":   true,
+	"repro/internal/stats":    true,
+	"repro/internal/timing":   true,
+	"repro/internal/trace":    true,
+	"repro/internal/vm":       true,
+	"repro/internal/workload": true,
+	"repro/internal/xlate":    true,
 }
 
 // InModelScope reports whether the package is simulation/model code.

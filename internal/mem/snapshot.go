@@ -1,0 +1,43 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// ExportFree returns a copy of the free list in stack order (the next Alloc
+// pops the last element). The order is real machine state: the list is LIFO
+// over the release history, so it cannot be reconstructed from the resident
+// set — a checkpoint that dropped it would replay different frame numbers
+// and diverge from the run it claims to resume.
+func (p *Pool) ExportFree() []addr.PFN {
+	free := make([]addr.PFN, len(p.free))
+	copy(free, p.free)
+	return free
+}
+
+// RestoreFree overwrites the free list from a checkpoint and recomputes the
+// in-use map (every non-wired frame not on the list is allocated). Frames
+// must be in range and unique; anything else means the snapshot belongs to
+// a different pool geometry or is corrupt.
+func (p *Pool) RestoreFree(free []addr.PFN) error {
+	if len(free) > p.total-p.wired {
+		return fmt.Errorf("mem: snapshot free list of %d frames exceeds the %d allocatable", len(free), p.total-p.wired)
+	}
+	seen := make([]bool, p.total)
+	for _, f := range free {
+		if int(f) < p.wired || int(f) >= p.total {
+			return fmt.Errorf("mem: snapshot frees wired or out-of-range frame %d", f)
+		}
+		if seen[f] {
+			return fmt.Errorf("mem: snapshot frees frame %d twice", f)
+		}
+		seen[f] = true
+	}
+	p.free = append(p.free[:0], free...)
+	for f := p.wired; f < p.total; f++ {
+		p.inUse[f] = !seen[f]
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package sample
+
+import (
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// Chosen is one representative interval of a sampling plan: the interval's
+// index in the stream and the fraction of all profiled intervals its phase
+// covers.
+type Chosen struct {
+	Index  int     `json:"index"`
+	Weight float64 `json:"weight"`
+}
+
+// Plan is a complete sampling plan: which intervals to simulate and how to
+// weight their measurements. A Plan is a pure function of (profile, k,
+// seed), so the same workload stream always yields the same plan.
+type Plan struct {
+	TotalRefs   int64 `json:"total_refs"`
+	IntervalLen int64 `json:"interval_len"`
+	// Prefix is the exactly-simulated cold-start span in references, a
+	// whole number of intervals starting at reference zero. The startup
+	// transient — first-touch faults over the initial working set, early
+	// region teardowns — is concentrated there and matches no steady-state
+	// phase, so extrapolating it from representatives biases every
+	// OS-event metric. The prefix is measured exactly instead, and the
+	// clusterer only sees intervals at or after it.
+	Prefix int64    `json:"prefix,omitempty"`
+	K      int      `json:"k"`
+	Chosen []Chosen `json:"chosen"` // ascending by Index; all at or after Prefix
+}
+
+// SimulatedRefs returns how many references the plan actually simulates,
+// prefix and warmup included.
+func (p Plan) SimulatedRefs(warmup int64) int64 {
+	return p.Prefix + int64(len(p.Chosen))*(p.IntervalLen+warmup)
+}
+
+// dist2 is the squared Euclidean distance between two signatures.
+func dist2(a, b *Signature) float64 {
+	var d float64
+	for i := range a {
+		x := a[i] - b[i]
+		d += x * x
+	}
+	return d
+}
+
+// BuildPlan clusters the profile's intervals into at most k phases with a
+// deterministic k-means (k-means++ seeding from a splitmix64 stream derived
+// from seed, Lloyd iterations with lowest-index tie-breaking) and picks each
+// phase's medoid — the member interval closest to the centroid — as its
+// representative, weighted by phase size. Clusters that end up empty are
+// dropped, so len(Chosen) can be below k.
+//
+// prefix (in references) is rounded up to whole intervals and excluded from
+// clustering: those leading intervals are simulated exactly by Measure and
+// added to the estimate as-is, so the phase weights cover only the stream
+// past the prefix. At least one interval is always left for the clusterer.
+func BuildPlan(p Profile, k int, seed uint64, prefix int64) Plan {
+	plan := Plan{TotalRefs: p.TotalRefs, IntervalLen: p.IntervalLen, K: k}
+	n := len(p.Sigs)
+	if n == 0 || k <= 0 {
+		return plan
+	}
+	pi := 0
+	if prefix > 0 {
+		pi = int((prefix + p.IntervalLen - 1) / p.IntervalLen)
+		if pi > n-1 {
+			pi = n - 1
+		}
+	}
+	plan.Prefix = int64(pi) * p.IntervalLen
+	sigs := p.Sigs[pi:]
+	n = len(sigs)
+	if k > n {
+		k = n
+	}
+
+	state := parallel.DeriveSeed(seed, 0x6b6d65616e73) // "kmeans"
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+
+	// k-means++ seeding: first centroid uniform, the rest proportional to
+	// squared distance from the nearest already-chosen centroid.
+	centroids := make([]Signature, 0, k)
+	centroids = append(centroids, sigs[stats.Uint64n(next, uint64(n))])
+	minD := make([]float64, n)
+	for i := range sigs {
+		minD[i] = dist2(&sigs[i], &centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range minD {
+			total += d
+		}
+		if total == 0 {
+			break // every interval coincides with a centroid
+		}
+		// Draw r uniformly in [0, total) from the integer stream; 53 bits
+		// of mantissa keep the choice deterministic across platforms.
+		r := float64(next()>>11) / (1 << 53) * total
+		idx := n - 1
+		var cum float64
+		for i, d := range minD {
+			cum += d
+			if r < cum {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, sigs[idx])
+		for i := range sigs {
+			if d := dist2(&sigs[i], &centroids[len(centroids)-1]); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+	k = len(centroids)
+
+	// Lloyd iterations. Assignment ties break toward the lowest centroid
+	// index; convergence is assignment stability, bounded by maxIter.
+	const maxIter = 64
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range sigs {
+			best, bestD := 0, dist2(&sigs[i], &centroids[0])
+			for c := 1; c < k; c++ {
+				if d := dist2(&sigs[i], &centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		var sums = make([]Signature, k)
+		counts := make([]int, k)
+		for i, c := range assign {
+			counts[c]++
+			for d := range sums[c] {
+				sums[c][d] += sigs[i][d]
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // empty cluster keeps its centroid
+			}
+			inv := 1 / float64(counts[c])
+			for d := range sums[c] {
+				sums[c][d] *= inv
+			}
+			centroids[c] = sums[c]
+		}
+	}
+
+	// Medoid per non-empty cluster, lowest index on ties.
+	type medoid struct {
+		idx  int
+		d    float64
+		size int
+	}
+	meds := make([]medoid, k)
+	for c := range meds {
+		meds[c].idx = -1
+	}
+	for i, c := range assign {
+		meds[c].size++
+		d := dist2(&sigs[i], &centroids[c])
+		if meds[c].idx < 0 || d < meds[c].d {
+			meds[c].idx = i
+			meds[c].d = d
+		}
+	}
+	for _, m := range meds {
+		if m.idx < 0 {
+			continue
+		}
+		plan.Chosen = append(plan.Chosen, Chosen{
+			Index:  m.idx + pi,
+			Weight: float64(m.size) / float64(n),
+		})
+	}
+	sort.Slice(plan.Chosen, func(i, j int) bool { return plan.Chosen[i].Index < plan.Chosen[j].Index })
+	return plan
+}

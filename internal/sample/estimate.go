@@ -1,0 +1,230 @@
+package sample
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// MetricNames is the fixed, ordered list of metrics the estimator projects.
+// The names are the paper's event vocabulary in snake_case; "cycles" and
+// "elapsed_s" are the timing model's outputs.
+var MetricNames = []string{
+	"misses",
+	"nds",
+	"nzfod",
+	"nef",
+	"ndm",
+	"nstale",
+	"nw_hit",
+	"nw_miss",
+	"page_ins",
+	"page_outs",
+	"ref_faults",
+	"ref_clears",
+	"page_flushes",
+	"bus_writes",
+	"cycles",
+	"elapsed_s",
+}
+
+// metricVector evaluates every MetricNames entry for one interval delta.
+func metricVector(im IntervalMetrics, tp *timing.Params) []float64 {
+	ev := core.EventsFromShadow(im.Shadow, im.Pager, tp.Seconds(im.Cycles))
+	return []float64{
+		float64(ev.Misses),
+		float64(ev.Nds),
+		float64(ev.Nzfod),
+		float64(ev.Nef),
+		float64(ev.Ndm),
+		float64(ev.Nstale()),
+		float64(ev.NwHit),
+		float64(ev.NwMiss),
+		float64(ev.PageIns),
+		float64(ev.PageOuts),
+		float64(ev.RefFaults),
+		float64(ev.RefClears),
+		float64(ev.PageFlushes),
+		float64(im.Shadow[counters.EvBusWrite]),
+		float64(im.Cycles),
+		ev.ElapsedSeconds,
+	}
+}
+
+// vmExact names the metrics whose whole-run totals the measurement pass
+// produces exactly rather than by extrapolation: functional warming drives
+// the stream through every gap, taking (and counting) the page faults,
+// page-ins/outs, reference-bit traffic and page flushes the full run takes
+// there, so the machine's cumulative counts at TotalRefs are the full run's
+// — up to the reference-bit probe approximation — and carry no sampling
+// error. Cache events and cycle costs are not modelled during gaps; those
+// stay in the sampled class.
+var vmExact = map[string]bool{
+	"nds":          true,
+	"nzfod":        true,
+	"page_ins":     true,
+	"page_outs":    true,
+	"ref_faults":   true,
+	"ref_clears":   true,
+	"page_flushes": true,
+}
+
+// MetricEstimate is one metric's full-run projection: the per-reference rate
+// (weighted over representative intervals), the extrapolated total over the
+// whole stream, and the CI95 half-width on that total from the weighted
+// between-interval variance (Student-t, K−1 degrees of freedom). Metrics in
+// the vmExact class are instead reported as measured, with a zero half-width.
+type MetricEstimate struct {
+	Name  string  `json:"name"`
+	Rate  float64 `json:"rate"`
+	Total float64 `json:"total"`
+	CI95  float64 `json:"ci95"`
+}
+
+// Estimate is one variant's projected full run.
+type Estimate struct {
+	Variant       string           `json:"variant"`
+	TotalRefs     int64            `json:"total_refs"`
+	PrefixRefs    int64            `json:"prefix_refs"`
+	SimulatedRefs int64            `json:"simulated_refs"`
+	K             int              `json:"k"`
+	Metrics       []MetricEstimate `json:"metrics"`
+}
+
+// Metric returns the named estimate, if present.
+func (e Estimate) Metric(name string) (MetricEstimate, bool) {
+	for _, m := range e.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricEstimate{}, false
+}
+
+// Estimate combines one variant's measurements into full-run estimates. The
+// plan's cold-start prefix contributes its exactly-measured counts; past the
+// prefix, each representative interval contributes its per-reference rate,
+// weighted by the fraction of the post-prefix stream its phase covers, and
+// the total is prefix count plus weighted rate times the post-prefix stream
+// length. The error bar treats the K phase representatives as K weighted
+// observations: the CI95 half-width comes from the weighted sample variance
+// with the standard n/(n−1) correction and a Student-t critical value at
+// K−1 degrees of freedom, scaled by the extrapolated (post-prefix) span
+// only — the prefix is exact and adds no sampling error. With K = 1 the
+// variance is undefined and the half-width is reported as zero.
+func (p Plan) Estimate(m Measured, tp timing.Params, warmup int64) Estimate {
+	est := Estimate{
+		Variant:       m.Variant,
+		TotalRefs:     p.TotalRefs,
+		PrefixRefs:    p.Prefix,
+		SimulatedRefs: p.SimulatedRefs(warmup),
+		K:             len(p.Chosen),
+	}
+	prefVec := metricVector(m.Prefix, &tp)
+	remaining := float64(p.TotalRefs - p.Prefix)
+	var finVec []float64
+	if m.Final.Refs == p.TotalRefs && p.TotalRefs > 0 {
+		finVec = metricVector(m.Final, &tp)
+	}
+	k := len(p.Chosen)
+	if k == 0 || len(m.Intervals) != k {
+		if p.Prefix > 0 && p.Prefix == p.TotalRefs {
+			// Degenerate prefix-only plan: the whole stream was simulated
+			// exactly.
+			for mi, name := range MetricNames {
+				est.Metrics = append(est.Metrics, MetricEstimate{
+					Name:  name,
+					Rate:  prefVec[mi] / float64(p.Prefix),
+					Total: prefVec[mi],
+				})
+			}
+		}
+		return est
+	}
+	vecs := make([][]float64, k)
+	for i, im := range m.Intervals {
+		vecs[i] = metricVector(im, &tp)
+		if im.Refs > 0 {
+			inv := 1 / float64(im.Refs)
+			for d := range vecs[i] {
+				vecs[i][d] *= inv
+			}
+		}
+	}
+	var wsum float64
+	for _, c := range p.Chosen {
+		wsum += c.Weight
+	}
+	if wsum == 0 {
+		return est
+	}
+	for mi, name := range MetricNames {
+		if vmExact[name] && finVec != nil {
+			total := finVec[mi]
+			est.Metrics = append(est.Metrics, MetricEstimate{
+				Name:  name,
+				Rate:  total / float64(p.TotalRefs),
+				Total: total,
+			})
+			continue
+		}
+		var mean float64
+		for i, c := range p.Chosen {
+			mean += c.Weight / wsum * vecs[i][mi]
+		}
+		var wvar float64
+		for i, c := range p.Chosen {
+			d := vecs[i][mi] - mean
+			wvar += c.Weight / wsum * d * d
+		}
+		sd := 0.0
+		if k > 1 {
+			sd = math.Sqrt(wvar * float64(k) / float64(k-1))
+		}
+		half := stats.Summary{N: k, Mean: mean, StdDev: sd}.CI95()
+		est.Metrics = append(est.Metrics, MetricEstimate{
+			Name:  name,
+			Rate:  mean,
+			Total: prefVec[mi] + mean*remaining,
+			CI95:  half * remaining,
+		})
+	}
+	return est
+}
+
+// EventsFromEstimate reconstructs the paper's event vocabulary from a
+// variant's estimate, rounding each projected total to the nearest count.
+// Derived quantities (N_stale, excess fractions, miss rate) then come from
+// the same core.Events methods full runs use.
+func EventsFromEstimate(e Estimate) core.Events {
+	get := func(name string) uint64 {
+		m, ok := e.Metric(name)
+		if !ok || m.Total < 0 {
+			return 0
+		}
+		return uint64(math.Round(m.Total))
+	}
+	elapsed := 0.0
+	if m, ok := e.Metric("elapsed_s"); ok {
+		elapsed = m.Total
+	}
+	return core.Events{
+		Nds:            get("nds"),
+		Nzfod:          get("nzfod"),
+		Nef:            get("nef"),
+		Ndm:            get("ndm"),
+		NwHit:          get("nw_hit"),
+		NwMiss:         get("nw_miss"),
+		PageIns:        get("page_ins"),
+		PageOuts:       get("page_outs"),
+		RefFaults:      get("ref_faults"),
+		RefClears:      get("ref_clears"),
+		PageFlushes:    get("page_flushes"),
+		Refs:           uint64(e.TotalRefs),
+		Misses:         get("misses"),
+		ElapsedSeconds: elapsed,
+	}
+}

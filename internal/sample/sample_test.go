@@ -1,0 +1,404 @@
+package sample
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/journal"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func testConfig(refs int64) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.MemoryBytes = core.MiB(4) // small memory: real paging traffic
+	cfg.TotalRefs = refs
+	return cfg
+}
+
+// drive generates the stream on script and simulates it on m up to target.
+func drive(t *testing.T, m *machine.Machine, script *workload.Script, pos *int64, target int64, sim bool) {
+	t.Helper()
+	buf := make([]trace.Rec, 512)
+	for *pos < target {
+		n := target - *pos
+		if n > int64(len(buf)) {
+			n = int64(len(buf))
+		}
+		k := script.NextBatch(buf[:n])
+		if k == 0 {
+			t.Fatalf("stream ended at %d refs (wanted %d)", *pos, target)
+		}
+		if sim {
+			m.Engine.AccessBatch(buf[:k])
+		}
+		*pos += int64(k)
+	}
+}
+
+func TestProfileDeterministicAndNormalized(t *testing.T) {
+	spec := workload.SLCSpec()
+	p1 := BuildProfile(spec, 7, 100_000, 10_000)
+	p2 := BuildProfile(spec, 7, 100_000, 10_000)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("profiles of the same (spec, seed) differ")
+	}
+	if len(p1.Sigs) != 10 {
+		t.Fatalf("got %d signatures, want 10", len(p1.Sigs))
+	}
+	// Every reference lands in exactly one page bucket and one op bucket,
+	// so the touch-frequency dims of each normalized signature sum to 2;
+	// the region-lifecycle dims are max-normalized into [0, 1].
+	for i, sig := range p1.Sigs {
+		var sum float64
+		for _, v := range sig[:envAddDim] {
+			sum += v
+		}
+		if math.Abs(sum-2) > 1e-9 {
+			t.Fatalf("signature %d touch dims sum to %g, want 2", i, sum)
+		}
+		for d := envAddDim; d < SigDims; d++ {
+			if sig[d] < 0 || sig[d] > 1 {
+				t.Fatalf("signature %d lifecycle dim %d = %g, want [0,1]", i, d, sig[d])
+			}
+		}
+	}
+	// A different seed is a different stream.
+	if reflect.DeepEqual(p1, BuildProfile(spec, 8, 100_000, 10_000)) {
+		t.Fatal("profiles of different seeds are identical")
+	}
+}
+
+func TestBuildPlanShape(t *testing.T) {
+	p := BuildProfile(workload.SLCSpec(), 3, 200_000, 10_000)
+	plan := BuildPlan(p, 5, 3, 0)
+	if !reflect.DeepEqual(plan, BuildPlan(p, 5, 3, 0)) {
+		t.Fatal("plans of the same (profile, k, seed) differ")
+	}
+	if len(plan.Chosen) == 0 || len(plan.Chosen) > 5 {
+		t.Fatalf("got %d representatives, want 1..5", len(plan.Chosen))
+	}
+	var wsum float64
+	last := -1
+	for _, c := range plan.Chosen {
+		if c.Index <= last {
+			t.Fatalf("chosen indices not strictly ascending: %v", plan.Chosen)
+		}
+		if c.Index < 0 || c.Index >= len(p.Sigs) {
+			t.Fatalf("chosen index %d out of range", c.Index)
+		}
+		last = c.Index
+		wsum += c.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g, want 1", wsum)
+	}
+	if got := plan.SimulatedRefs(5_000); got != int64(len(plan.Chosen))*15_000 {
+		t.Fatalf("SimulatedRefs = %d", got)
+	}
+
+	// With a prefix, the leading intervals are excluded from clustering:
+	// the prefix rounds up to whole intervals, every representative starts
+	// at or after it, and the weights cover the post-prefix stream.
+	pre := BuildPlan(p, 5, 3, 25_000)
+	if pre.Prefix != 30_000 {
+		t.Fatalf("Prefix = %d, want 30000 (25000 rounded up to intervals)", pre.Prefix)
+	}
+	wsum = 0
+	for _, c := range pre.Chosen {
+		if int64(c.Index)*pre.IntervalLen < pre.Prefix {
+			t.Fatalf("representative %d starts inside the prefix", c.Index)
+		}
+		wsum += c.Weight
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("prefixed weights sum to %g, want 1", wsum)
+	}
+	if got := pre.SimulatedRefs(5_000); got != 30_000+int64(len(pre.Chosen))*15_000 {
+		t.Fatalf("prefixed SimulatedRefs = %d", got)
+	}
+	// A prefix covering everything still leaves one interval to cluster.
+	all := BuildPlan(p, 5, 3, 10*200_000)
+	if all.Prefix != 190_000 || len(all.Chosen) == 0 {
+		t.Fatalf("oversized prefix: Prefix=%d Chosen=%v", all.Prefix, all.Chosen)
+	}
+}
+
+// TestSnapshotRoundTrip is the snapshot fuzz: across seeds and prefix
+// lengths, capture a warmed machine, push the state through journal bytes,
+// restore it onto a fresh machine (after regenerating the stream prefix),
+// and check the two machines stay bit-for-bit identical over the rest of
+// the stream.
+func TestSnapshotRoundTrip(t *testing.T) {
+	spec := workload.SLCSpec()
+	for _, tc := range []struct {
+		seed   uint64
+		prefix int64
+	}{
+		{1, 10_000},
+		{2, 50_000},
+		{3, 77_777},
+		{4, 120_001},
+	} {
+		cfg := testConfig(200_000)
+		cfg.Seed = tc.seed
+
+		// Original: simulate the prefix, snapshot, keep going.
+		m1 := machine.New(cfg)
+		s1 := workload.NewScript(m1, tc.seed, spec)
+		m1.Pager.Runnable = s1.Runnable
+		var pos1 int64
+		drive(t, m1, s1, &pos1, tc.prefix, true)
+		snap := Capture(m1, tc.prefix)
+
+		// Round-trip the state through the CRC-framed journal machinery.
+		path := filepath.Join(t.TempDir(), "snap.journal")
+		w, err := journal.Create(path, journal.Header{Kind: "test-snap", SpecKey: "k", Version: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := journal.Replay(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Entries) != 1 {
+			t.Fatalf("journal replay has %d entries, want 1", len(rep.Entries))
+		}
+		var restored MachineState
+		if err := json.Unmarshal(rep.Entries[0], &restored); err != nil {
+			t.Fatal(err)
+		}
+
+		// Replica: regenerate the prefix (registers regions/segments, no
+		// simulation), then apply the journaled state.
+		m2 := machine.New(cfg)
+		s2 := workload.NewScript(m2, tc.seed, spec)
+		m2.Pager.Runnable = s2.Runnable
+		var pos2 int64
+		drive(t, m2, s2, &pos2, tc.prefix, false)
+		if err := Restore(m2, &restored); err != nil {
+			t.Fatalf("seed %d prefix %d: Restore: %v", tc.seed, tc.prefix, err)
+		}
+
+		// The restored machine must be indistinguishable from the original
+		// over the rest of the stream.
+		drive(t, m1, s1, &pos1, 200_000, true)
+		drive(t, m2, s2, &pos2, 200_000, true)
+		end1, end2 := Capture(m1, 200_000), Capture(m2, 200_000)
+		if !reflect.DeepEqual(end1, end2) {
+			t.Fatalf("seed %d prefix %d: machines diverged after restore", tc.seed, tc.prefix)
+		}
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	cfg := testConfig(10_000)
+	m := machine.New(cfg)
+	snap := Capture(m, 0)
+	snap.CacheMeta = snap.CacheMeta[:len(snap.CacheMeta)-1]
+	if err := Restore(machine.New(cfg), snap); err == nil {
+		t.Fatal("Restore accepted a truncated cache meta array")
+	}
+}
+
+// TestMeasureTrivialPlanIsExact: a one-interval plan spanning the whole
+// stream is a full simulation, and must match machine.RunSpec exactly.
+func TestMeasureTrivialPlanIsExact(t *testing.T) {
+	const refs = 150_000
+	spec := workload.SLCSpec()
+	cfg := testConfig(refs)
+	cfg.Seed = 9
+
+	plan := Plan{TotalRefs: refs, IntervalLen: refs, K: 1, Chosen: []Chosen{{Index: 0, Weight: 1}}}
+	ms, err := Measure(spec, 9, plan, []Variant{{Name: "v", Cfg: cfg}}, MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := ms[0].Intervals[0]
+
+	res := machine.RunSpec(cfg, spec)
+	ev := core.EventsFromShadow(im.Shadow, im.Pager, res.ElapsedSeconds)
+	if ev != res.Events {
+		t.Fatalf("measured events differ from RunSpec:\n%+v\nvs\n%+v", ev, res.Events)
+	}
+	if im.Cycles != res.Cycles {
+		t.Fatalf("measured cycles %d != RunSpec cycles %d", im.Cycles, res.Cycles)
+	}
+
+	// The estimator on the trivial plan reproduces the exact totals with
+	// zero-width error bars.
+	est := plan.Estimate(ms[0], cfg.Timing, 0)
+	if m, _ := est.Metric("page_ins"); uint64(math.Round(m.Total)) != res.Events.PageIns || m.CI95 != 0 {
+		t.Fatalf("page_ins estimate %+v vs exact %d", m, res.Events.PageIns)
+	}
+	if m, _ := est.Metric("misses"); uint64(math.Round(m.Total)) != res.Events.Misses {
+		t.Fatalf("misses estimate %+v vs exact %d", m, res.Events.Misses)
+	}
+}
+
+func sampledFixture() (workload.Spec, uint64, Plan, []Variant, MeasureOptions) {
+	const refs = 200_000
+	spec := workload.SLCSpec()
+	seed := uint64(21)
+	profile := BuildProfile(spec, seed, refs, 10_000)
+	plan := BuildPlan(profile, 6, seed, 20_000)
+	cfgA := testConfig(refs)
+	cfgB := testConfig(refs)
+	cfgB.Ref = core.RefTRUE
+	variants := []Variant{{Name: "miss", Cfg: cfgA}, {Name: "ref", Cfg: cfgB}}
+	return spec, seed, plan, variants, MeasureOptions{Warmup: 5_000}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	spec, seed, plan, variants, opts := sampledFixture()
+	a, err := Measure(spec, seed, plan, variants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Measure(spec, seed, plan, variants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical sampled runs differ")
+	}
+	for vi := range a {
+		for ci, im := range a[vi].Intervals {
+			if im.Refs != plan.IntervalLen {
+				t.Fatalf("variant %d interval %d simulated %d refs, want %d", vi, ci, im.Refs, plan.IntervalLen)
+			}
+		}
+	}
+}
+
+func TestMeasureRejectsFaultPlans(t *testing.T) {
+	spec, seed, plan, variants, opts := sampledFixture()
+	variants[0].Cfg.Faults = []faultinject.Plan{{}}
+	if _, err := Measure(spec, seed, plan, variants, opts); err == nil {
+		t.Fatal("Measure accepted a fault-injection config")
+	}
+}
+
+// TestMeasureResumeTornJournal mirrors the sweep drivers' kill-and-resume
+// test at the snapshot layer: truncate a sampled run's journal mid-frame
+// (as a crash during an append would), resume, and require byte-identical
+// results to an uninterrupted run.
+func TestMeasureResumeTornJournal(t *testing.T) {
+	spec, seed, plan, variants, opts := sampledFixture()
+	ref, err := Measure(spec, seed, plan, variants, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sample.journal")
+	jopts := opts
+	jopts.JournalPath = path
+	jopts.Kind, jopts.SpecKey, jopts.Version = "sample-test", "spec", "v"
+	full, err := Measure(spec, seed, plan, variants, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, full) {
+		t.Fatal("journaled run differs from plain run")
+	}
+
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.35, 0.6, 0.9} {
+		cut := int(float64(len(whole)) * frac)
+		torn := filepath.Join(dir, "torn.journal")
+		if err := os.WriteFile(torn, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ropts := jopts
+		ropts.JournalPath = torn
+		ropts.Resume = true
+		got, err := Measure(spec, seed, plan, variants, ropts)
+		if err != nil {
+			t.Fatalf("resume after truncation at %.0f%%: %v", frac*100, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("resume after truncation at %.0f%% differs from uninterrupted run", frac*100)
+		}
+		if err := os.Remove(torn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Resuming the complete journal recomputes nothing and still matches.
+	ropts := jopts
+	ropts.Resume = true
+	got, err := Measure(spec, seed, plan, variants, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("resume of complete journal differs")
+	}
+}
+
+func TestMeasureResumeRejectsForeignJournal(t *testing.T) {
+	spec, seed, plan, variants, opts := sampledFixture()
+	path := filepath.Join(t.TempDir(), "sample.journal")
+	opts.JournalPath = path
+	opts.Kind, opts.SpecKey, opts.Version = "sample-test", "spec", "v"
+	if _, err := Measure(spec, seed, plan, variants, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Different plan (different warmup) against the same journal.
+	wrong := opts
+	wrong.Resume = true
+	wrong.Warmup = opts.Warmup + 1
+	if _, err := Measure(spec, seed, plan, variants, wrong); err == nil {
+		t.Fatal("resume with a different plan succeeded")
+	}
+	// Different header entirely.
+	foreign := opts
+	foreign.Resume = true
+	foreign.SpecKey = "other"
+	if _, err := Measure(spec, seed, plan, variants, foreign); err == nil {
+		t.Fatal("resume with a different spec key succeeded")
+	}
+}
+
+func TestEstimateWeighting(t *testing.T) {
+	// Two intervals, weights 0.75/0.25, one metric checked by hand.
+	plan := Plan{TotalRefs: 1000, IntervalLen: 100, K: 2,
+		Chosen: []Chosen{{Index: 0, Weight: 0.75}, {Index: 5, Weight: 0.25}}}
+	var a, b IntervalMetrics
+	a.Refs, b.Refs = 100, 100
+	a.Pager.PageIns, b.Pager.PageIns = 10, 30
+	m := Measured{Variant: "v", Intervals: []IntervalMetrics{a, b}}
+	est := plan.Estimate(m, machine.DefaultConfig().Timing, 0)
+	pi, ok := est.Metric("page_ins")
+	if !ok {
+		t.Fatal("no page_ins estimate")
+	}
+	// Weighted rate = 0.75*0.1 + 0.25*0.3 = 0.15; total = 150.
+	if math.Abs(pi.Rate-0.15) > 1e-12 || math.Abs(pi.Total-150) > 1e-9 {
+		t.Fatalf("page_ins estimate %+v, want rate 0.15 total 150", pi)
+	}
+	if pi.CI95 <= 0 {
+		t.Fatal("two distinct intervals must yield a positive CI95")
+	}
+}

@@ -1,0 +1,112 @@
+package sample
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/counters"
+	"repro/internal/machine"
+	"repro/internal/pte"
+	"repro/internal/vm"
+)
+
+// PTERecord is one non-zero page-table entry in a machine snapshot.
+type PTERecord struct {
+	VPN   uint64 `json:"vpn"`
+	Entry uint32 `json:"entry"`
+}
+
+// MachineState is the complete serializable warm state of one machine: the
+// cache's packed tag/meta arrays, every valid PTE, the pager's pages and
+// clock ring, the frame pool's free-list order, the counter block, and the
+// engine's accumulated cycles. What it deliberately omits is everything the
+// workload stream rebuilds deterministically on restore — regions, segment
+// allocation, and the generator's own state — because generation is a pure
+// function of (spec, seed) and is always replayed up to the snapshot point
+// before this state is applied.
+type MachineState struct {
+	// Refs is the stream position the snapshot was taken at.
+	Refs int64 `json:"refs"`
+
+	CacheTags  []addr.BlockAddr `json:"cache_tags"`
+	CacheMeta  []byte           `json:"cache_meta"`
+	CacheStats cache.Stats      `json:"cache_stats"`
+
+	PTE []PTERecord `json:"pte"`
+
+	Pager    vm.PagerState `json:"pager"`
+	PoolFree []addr.PFN    `json:"pool_free"`
+
+	CtrMode   int                                   `json:"ctr_mode"`
+	CtrHW     [counters.HardwareCounters + 1]uint32 `json:"ctr_hw"`
+	CtrShadow [counters.NumEvents]uint64            `json:"ctr_shadow"`
+
+	EngineCycles uint64    `json:"engine_cycles"`
+	FaultsByKind [4]uint64 `json:"faults_by_kind"`
+}
+
+// Capture serializes machine m's warm state at stream position refs.
+func Capture(m *machine.Machine, refs int64) *MachineState {
+	s := &MachineState{Refs: refs}
+	s.CacheTags, s.CacheMeta = m.Cache.ExportState()
+	s.CacheStats = m.Cache.Stats
+	m.Table.Range(func(p addr.GVPN, e pte.Entry) bool {
+		s.PTE = append(s.PTE, PTERecord{VPN: uint64(p), Entry: uint32(e)})
+		return true
+	})
+	s.Pager = m.Pager.ExportState()
+	s.PoolFree = m.Pool.ExportFree()
+	s.CtrMode = m.Ctr.Mode()
+	s.CtrHW = m.Ctr.HardwareSnapshot()
+	s.CtrShadow = m.Ctr.Snapshot()
+	s.EngineCycles = m.Engine.Cycles
+	s.FaultsByKind = m.Engine.FaultsByKind
+	return s
+}
+
+// Restore applies a captured state to machine m. The caller must already
+// have regenerated the workload stream up to s.Refs against m (which
+// re-registers regions and segments exactly as the original run did);
+// Restore then overwrites the simulated state on top. After Restore, m is
+// bit-for-bit the machine the snapshot was captured from: driving the same
+// subsequent references produces identical counters, cycles and statistics.
+func Restore(m *machine.Machine, s *MachineState) error {
+	if err := m.Cache.RestoreState(s.CacheTags, s.CacheMeta); err != nil {
+		return err
+	}
+	m.Cache.Stats = s.CacheStats
+	// Clear whatever entries the table holds, then install the snapshot's.
+	var stale []addr.GVPN
+	m.Table.Range(func(p addr.GVPN, _ pte.Entry) bool {
+		stale = append(stale, p)
+		return true
+	})
+	for _, p := range stale {
+		m.Table.Set(p, 0)
+	}
+	for _, r := range s.PTE {
+		m.Table.Set(addr.GVPN(r.VPN), pte.Entry(r.Entry))
+	}
+	if err := m.Pool.RestoreFree(s.PoolFree); err != nil {
+		return err
+	}
+	if err := m.Pager.RestoreState(s.Pager); err != nil {
+		return err
+	}
+	m.Ctr.Restore(s.CtrMode, s.CtrHW, s.CtrShadow)
+	m.Engine.Cycles = s.EngineCycles
+	m.Engine.FaultsByKind = s.FaultsByKind
+	return nil
+}
+
+// validateNoFaults rejects configurations the sampling engine cannot
+// honestly serve: injected faults fire on absolute reference counts, so a
+// run that skips stream segments would fire them at different points than
+// the full run it estimates.
+func validateNoFaults(cfg machine.Config) error {
+	if len(cfg.Faults) != 0 {
+		return fmt.Errorf("sample: fault-injection plans cannot be sampled (faults fire at absolute reference positions the sampled run does not visit)")
+	}
+	return nil
+}

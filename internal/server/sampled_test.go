@@ -1,0 +1,95 @@
+package server
+
+// Tests for /v1/sweep with sample=true: sampled estimates are memoized
+// under their own store kind (never colliding with the exact sweep of the
+// same spec), render the sampled CSV byte-identically to the local driver,
+// and the chart rendering — which cannot show error bars — is rejected.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	spur "repro"
+	"repro/internal/core"
+	"repro/pkg/client"
+)
+
+func TestSweepSampled(t *testing.T) {
+	s, _, c := newTestServer(t, Config{})
+	exact := client.SweepRequest{
+		Workloads: []string{"SLC"},
+		SizesMB:   []int{6, 8},
+		Refs:      testRefs,
+		Seed:      3,
+	}
+	sampledReq := exact
+	sampledReq.Sample = true
+	sampledReq.IntervalLen = 20_000
+
+	body, meta, err := c.Sweep(context.Background(), sampledReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Cached {
+		t.Error("first sampled sweep claims cached")
+	}
+
+	// Byte-identical to the local sampled driver.
+	rows, err := spur.MemorySweepSampled(
+		spur.MemorySweepOptions{
+			Workloads: []core.WorkloadName{core.SLC},
+			SizesMB:   []int{6, 8},
+			Refs:      testRefs,
+			Seed:      3,
+		},
+		spur.SampleOptions{IntervalLen: 20_000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local := spur.SampledSweepCSV(rows); string(body) != local {
+		t.Errorf("remote sampled CSV differs from local:\n--- remote ---\n%s--- local ---\n%s", body, local)
+	}
+
+	// Second identical request: a store hit with the same bytes.
+	again, meta2, err := c.Sweep(context.Background(), sampledReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta2.Cached || meta2.Key != meta.Key {
+		t.Errorf("repeat sampled sweep missed the store (cached=%v, key %q vs %q)", meta2.Cached, meta2.Key, meta.Key)
+	}
+	if !bytes.Equal(body, again) {
+		t.Error("cached sampled sweep returned different bytes")
+	}
+
+	// The exact sweep of the same spec lives under a different key: an
+	// estimate must never be served where exact counts were asked for.
+	_, exactMeta, err := c.Sweep(context.Background(), exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactMeta.Cached {
+		t.Error("exact sweep was served from the sampled result")
+	}
+	if exactMeta.Key == meta.Key {
+		t.Errorf("exact and sampled sweeps share key %q", meta.Key)
+	}
+	if st := s.Store().Stats(); st.Puts != 2 {
+		t.Errorf("store puts = %d, want 2 (one sampled, one exact)", st.Puts)
+	}
+}
+
+func TestSweepSampledRejectsChart(t *testing.T) {
+	_, _, c := newTestServer(t, Config{})
+	req := client.SweepRequest{
+		Workloads: []string{"SLC"}, SizesMB: []int{8}, Refs: testRefs,
+		Sample: true, Format: client.FormatChart,
+	}
+	// Normalize fails client-side before any bytes hit the wire; the
+	// server applies the same rule to hand-rolled requests.
+	if _, _, err := c.Sweep(context.Background(), req); err == nil {
+		t.Fatal("sampled chart request accepted")
+	}
+}

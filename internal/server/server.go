@@ -434,10 +434,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Format is presentation only: both renderings share one stored
-	// result, so it is excluded from the content address.
+	// result, so it is excluded from the content address. Sampled sweeps
+	// get their own kind: an estimate with error bars must never be served
+	// where an exact sweep was asked for, or vice versa.
+	kind := "sweep"
+	if req.Sample {
+		kind = "sweep-sampled"
+	}
 	keyReq := req
 	keyReq.Format = ""
-	key, err := expstore.KeyOf(s.cfg.Version, "sweep", keyReq)
+	key, err := expstore.KeyOf(s.cfg.Version, kind, keyReq)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -447,9 +453,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.proxyIfRemote(w, r, key, req) {
 		return
 	}
-	data, cached, err := s.memoize(r.Context(), key, "sweep", keyReq, s.sweepJob(key, req))
+	job := s.sweepJob(key, req)
+	if req.Sample {
+		job = s.sampledSweepJob(key, req)
+	}
+	data, cached, err := s.memoize(r.Context(), key, kind, keyReq, job)
 	if err != nil {
 		writeComputeError(w, err)
+		return
+	}
+	if req.Sample {
+		var rows []spur.SampledRow
+		if err := json.Unmarshal(data, &rows); err != nil {
+			httpError(w, http.StatusInternalServerError, "corrupt stored sampled sweep: %v", err)
+			return
+		}
+		w.Header().Set("X-Spur-Key", string(key))
+		w.Header().Set("X-Spur-Cached", strconv.FormatBool(cached))
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		// Write errors here mean the client hung up; nothing to do.
+		_, _ = fmt.Fprint(w, spur.SampledSweepCSV(rows))
 		return
 	}
 	var rows []spur.MemorySweepRow
@@ -492,6 +515,54 @@ func (s *Server) sweepJob(key expstore.Key, req client.SweepRequest) jobFn {
 		data, err := json.Marshal(rows)
 		return data, err == nil, err
 	}
+}
+
+// sampledSweepJob is the compute closure behind /v1/sweep with
+// sample=true, shared with job recovery.
+func (s *Server) sampledSweepJob(key expstore.Key, req client.SweepRequest) jobFn {
+	return func(ctx context.Context) ([]byte, bool, error) {
+		t0 := time.Now()
+		rows, err := s.computeSampledSweep(ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		s.cfg.Logf("spurd: sampled sweep %s (%d rows) computed in %s", key[:12], len(rows), time.Since(t0).Round(time.Millisecond))
+		data, err := json.Marshal(rows)
+		return data, err == nil, err
+	}
+}
+
+func (s *Server) computeSampledSweep(ctx context.Context, req client.SweepRequest) ([]spur.SampledRow, error) {
+	opts := spur.MemorySweepOptions{
+		SizesMB:  req.SizesMB,
+		Refs:     req.Refs,
+		Seed:     req.Seed,
+		Reps:     req.Reps,
+		Parallel: s.cfg.Parallel,
+	}
+	for _, name := range req.Workloads {
+		opts.Workloads = append(opts.Workloads, core.WorkloadName(name))
+	}
+	for _, name := range req.Policies {
+		p, err := core.ParseRefPolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.Policies = append(opts.Policies, p)
+	}
+	so := spur.SampleOptions{
+		Intervals:   req.Intervals,
+		IntervalLen: req.IntervalLen,
+		Warmup:      req.Warmup,
+	}
+	rows, err := spur.MemorySweepSampled(opts, so)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 func (s *Server) computeSweep(ctx context.Context, req client.SweepRequest) ([]spur.MemorySweepRow, error) {

@@ -176,6 +176,20 @@ type SweepRequest struct {
 	// AuditEvery forwards to the hardened runner each cell runs under.
 	AuditEvery int64 `json:"audit_every,omitempty"`
 
+	// Sample switches the sweep to the interval-sampling estimator
+	// (spur.MemorySweepSampled): full-run projections with CI95 error bars
+	// instead of exact counts. Sampled results live under their own store
+	// kind and can never be served where an exact sweep was asked for.
+	// Every sampling field is omitempty, so requests that predate sampling
+	// hash to the same store keys as before.
+	Sample bool `json:"sample,omitempty"`
+	// Intervals, IntervalLen and Warmup forward to spur.SampleOptions
+	// (0 = that type's defaults). They are ignored — and rejected by
+	// Normalize — unless Sample is set.
+	Intervals   int   `json:"intervals,omitempty"`
+	IntervalLen int64 `json:"interval_len,omitempty"`
+	Warmup      int64 `json:"warmup,omitempty"`
+
 	// Format selects the response rendering: "csv" (default) or "chart".
 	// It is presentation only and excluded from the store key — both
 	// renderings of one spec share one stored result.
@@ -233,12 +247,25 @@ func (r *SweepRequest) Normalize() error {
 	if r.AuditEvery < 0 {
 		return fmt.Errorf("client: negative audit cadence %d", r.AuditEvery)
 	}
+	if !r.Sample && (r.Intervals != 0 || r.IntervalLen != 0 || r.Warmup != 0) {
+		return fmt.Errorf("client: sampling parameters set without sample=true")
+	}
+	if r.Sample && r.AuditEvery != 0 {
+		return fmt.Errorf("client: sampled sweeps do not run the audited exact pipeline (drop audit_every)")
+	}
+	if r.Intervals < 0 || r.IntervalLen < 0 || r.Warmup < 0 {
+		return fmt.Errorf("client: negative sampling parameters (intervals %d, interval_len %d, warmup %d)",
+			r.Intervals, r.IntervalLen, r.Warmup)
+	}
 	switch r.Format {
 	case "":
 		r.Format = FormatCSV
 	case FormatCSV, FormatChart:
 	default:
 		return fmt.Errorf("client: unknown sweep format %q (want csv or chart)", r.Format)
+	}
+	if r.Sample && r.Format == FormatChart {
+		return fmt.Errorf("client: sampled sweeps render as csv only (estimates carry error bars the chart cannot show)")
 	}
 	return nil
 }
