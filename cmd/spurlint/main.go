@@ -6,9 +6,13 @@
 //
 //	go run ./cmd/spurlint ./...
 //	go run ./cmd/spurlint -checks determinism,errcheck ./internal/...
+//	go run ./cmd/spurlint -json ./...
 //
-// Findings print as file:line:col: check: message. The exit status is 1
-// when there are findings, 2 on usage or load errors, 0 on a clean tree.
+// Findings print as file:line:col: check: message, or with -json as one
+// JSON array of {file, line, col, check, message} objects (for tooling; CI
+// annotates PR diffs from the plain format via a problem matcher). The exit
+// status is 1 when there are findings, 2 on usage or load errors, 0 on a
+// clean tree.
 // Suppress a finding, with a recorded justification, via a comment on the
 // offending line or the line above:
 //
@@ -16,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -29,6 +34,7 @@ import (
 func main() {
 	checks := flag.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: spurlint [-checks a,b] [packages]\n")
 		flag.PrintDefaults()
@@ -62,13 +68,44 @@ func main() {
 	}
 
 	findings := lint.NewRunner(fset, analyzers).Run(pkgs)
-	for _, f := range findings {
-		fmt.Println(relativize(root, f))
+	if *jsonOut {
+		if err := printJSON(root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "spurlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(relativize(root, f))
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "spurlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json output shape: one object per finding, with the
+// file repo-relative, so editors and CI tooling need no path juggling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func printJSON(root string, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, jsonFinding{File: file, Line: f.Pos.Line, Col: f.Pos.Column, Check: f.Check, Message: f.Msg})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(csv string) ([]*lint.Analyzer, error) {

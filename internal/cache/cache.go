@@ -137,14 +137,18 @@ type Cache struct {
 	// tags[i] and meta[i] together are line frame i. A frame is empty iff
 	// meta[i]'s coherency state is Invalid (meta[i]&metaStateMask == 0);
 	// its tag is then meaningless.
-	tags      []addr.BlockAddr
-	meta      []uint8
+	tags []addr.BlockAddr
+	meta []uint8
+	//spurlint:ignore statecomplete — derived from the configured size in New; reconstructing the cache rebuilds it
 	indexMask uint64
 
-	bus  *coherence.Bus
+	//spurlint:ignore statecomplete — coherency wiring, re-established by Bus.Attach when the machine is rebuilt
+	bus *coherence.Bus
+	//spurlint:ignore statecomplete — coherency wiring, re-established by Bus.Attach when the machine is rebuilt
 	port int
 
 	// Stats accumulates internal event counts.
+	//spurlint:ignore statecomplete — measurement accumulator, reset at interval start; not warm state
 	Stats Stats
 }
 

@@ -45,8 +45,8 @@ type Outbox struct {
 	logf func(string, ...any)
 
 	mu      sync.Mutex
-	w       *journal.Writer            // nil for a memory-only outbox
-	pending map[string]map[string]bool // key -> replicas still owed
+	w       *journal.Writer            // guarded by mu: nil for a memory-only outbox
+	pending map[string]map[string]bool // guarded by mu: key -> replicas still owed
 
 	enqueued  atomic.Uint64
 	delivered atomic.Uint64
@@ -78,11 +78,12 @@ func OpenOutbox(path, version string, send func(peer, key string) error, logf fu
 		done:    make(chan struct{}),
 	}
 	if path != "" {
-		w, err := openOutboxJournal(path, version, o, logf)
+		w, pending, err := openOutboxJournal(path, version, logf)
 		if err != nil {
 			return nil, err
 		}
 		o.w = w
+		o.pending = pending
 	}
 	go o.sender()
 	if len(o.pending) > 0 {
@@ -91,55 +92,60 @@ func OpenOutbox(path, version string, send func(peer, key string) error, logf fu
 	return o, nil
 }
 
-// openOutboxJournal creates or replays the journal at path, loading owed
-// deliveries into o.pending.
-func openOutboxJournal(path, version string, o *Outbox, logf func(string, ...any)) (*journal.Writer, error) {
+// openOutboxJournal creates or replays the journal at path, returning the
+// writer and the owed deliveries it replayed. It builds the pending map
+// locally rather than writing Outbox fields: the caller merges the result
+// in before the outbox is published to any other goroutine.
+func openOutboxJournal(path, version string, logf func(string, ...any)) (*journal.Writer, map[string]map[string]bool, error) {
 	hdr := journal.Header{Kind: outboxJournalKind, Version: version}
+	pending := map[string]map[string]bool{}
 	if _, err := os.Stat(path); os.IsNotExist(err) {
-		return journal.Create(path, hdr)
+		w, err := journal.Create(path, hdr)
+		return w, pending, err
 	}
 	rep, err := journal.Replay(path)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: outbox %s: %w", path, err)
+		return nil, nil, fmt.Errorf("cluster: outbox %s: %w", path, err)
 	}
 	if rep.Header.Kind != outboxJournalKind {
-		return nil, fmt.Errorf("cluster: %s is a %q journal, not an outbox", path, rep.Header.Kind)
+		return nil, nil, fmt.Errorf("cluster: %s is a %q journal, not an outbox", path, rep.Header.Kind)
 	}
 	if rep.Header.Version != version {
 		logf("cluster: outbox %s was written by version %q (this is %q); setting it aside", path, rep.Header.Version, version)
 		if err := os.Rename(path, path+".stale"); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return journal.Create(path, hdr)
+		w, err := journal.Create(path, hdr)
+		return w, pending, err
 	}
 	for i, b := range rep.Entries {
 		var r outboxRecord
 		if err := json.Unmarshal(b, &r); err != nil {
-			return nil, fmt.Errorf("cluster: outbox %s record %d: %w", path, i, err)
+			return nil, nil, fmt.Errorf("cluster: outbox %s record %d: %w", path, i, err)
 		}
 		switch r.Op {
 		case "enq":
-			set := o.pending[r.Key]
+			set := pending[r.Key]
 			if set == nil {
 				set = map[string]bool{}
-				o.pending[r.Key] = set
+				pending[r.Key] = set
 			}
 			for _, p := range r.Peers {
 				set[p] = true
 			}
 		case "sent":
-			if set := o.pending[r.Key]; set != nil {
+			if set := pending[r.Key]; set != nil {
 				delete(set, r.Peer)
 				if len(set) == 0 {
-					delete(o.pending, r.Key)
+					delete(pending, r.Key)
 				}
 			}
 		default:
-			return nil, fmt.Errorf("cluster: outbox %s record %d: unknown op %q", path, i, r.Op)
+			return nil, nil, fmt.Errorf("cluster: outbox %s record %d: unknown op %q", path, i, r.Op)
 		}
 	}
 	w, _, err := journal.Open(path)
-	return w, err
+	return w, pending, err
 }
 
 // Enqueue records that key's blob is owed to peers and wakes the sender.

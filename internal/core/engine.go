@@ -23,23 +23,32 @@ import (
 // reference-bit reads/clears and page-out dirty checks flow back through the
 // same policies.
 type Engine struct {
+	//spurlint:ignore statecomplete — component wiring; the cache's own state goes through Cache.ExportState/RestoreState
 	Cache *cache.Cache
-	X     *xlate.Unit
+	//spurlint:ignore statecomplete — stateless in-cache translation unit, rebuilt when the machine is wired
+	X *xlate.Unit
+	//spurlint:ignore statecomplete — component wiring; the pager's own state goes through Pager.ExportState/RestoreState
 	Pager *vm.Pager
-	Ctr   *counters.Set
-	TP    timing.Params
+	//spurlint:ignore statecomplete — component wiring; counters are armed per measured interval, not checkpointed
+	Ctr *counters.Set
+	//spurlint:ignore statecomplete — timing configuration from the spec, not accumulated state
+	TP timing.Params
 
+	//spurlint:ignore statecomplete — policy configuration from the spec, not accumulated state
 	Dirty DirtyPolicy
-	Ref   RefPolicy
+	//spurlint:ignore statecomplete — policy configuration from the spec, not accumulated state
+	Ref RefPolicy
 
 	// TagCheckFlush selects the hypothetical tag-checking page flush for
 	// kernel page flushes (reclaims, REF clears, FLUSH faults) instead of
 	// SPUR's tag-ignoring one.
+	//spurlint:ignore statecomplete — policy configuration from the spec, not accumulated state
 	TagCheckFlush bool
 
 	// Inject, when non-nil, applies per-reference hardware faults: a
 	// forced counter wraparound, a flipped cached page-dirty bit, or a
 	// corrupted line tag. A nil injector is inert.
+	//spurlint:ignore statecomplete — fault-injection harness configuration; experiments never checkpoint under injection
 	Inject *faultinject.Injector
 
 	// Cycles accumulates reference-processing and fault-handler time.

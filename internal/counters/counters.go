@@ -149,6 +149,7 @@ type Set struct {
 	mode int
 	// w caches &wired[mode] so Add — called several times per memory
 	// reference — is one indexed load instead of a two-dimensional one.
+	//spurlint:ignore statecomplete — derived cache of &wired[mode]; SetMode recomputes it on restore
 	w *[NumEvents]int8
 	// hw has one extra slot beyond the sixteen physical counters: the
 	// write-only spill that absorbs events the current mode leaves

@@ -1,0 +1,61 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRestoreModeMismatch pins the failure mode of restoring a checkpoint
+// whose mode register is out of range: Restore goes through SetMode, which
+// panics rather than loading a mode the hardware does not have. A snapshot
+// carrying such a mode is corrupt, and silently clamping it would wire the
+// restored counters differently from the machine that was captured.
+func TestRestoreModeMismatch(t *testing.T) {
+	for _, mode := range []int{-1, NumModes, NumModes + 7} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Restore with mode %d did not panic", mode)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "invalid mode") {
+					t.Errorf("Restore with mode %d panicked with %v, want invalid-mode message", mode, r)
+				}
+			}()
+			s := New()
+			var hw [HardwareCounters + 1]uint32
+			var shadow [NumEvents]uint64
+			s.Restore(mode, hw, shadow)
+		}()
+	}
+}
+
+// TestRestoreRoundTrip: a valid mode restores bit-for-bit, including the
+// spill slot and any wraparound already present in the hardware view.
+func TestRestoreRoundTrip(t *testing.T) {
+	src := New()
+	src.SetMode(1)
+	src.Add(EvReadMiss, 3)          // wired to a hardware slot in mode 1
+	src.Add(EvDirtyFault, 1<<33+17) // unwired in mode 1: lands in the spill slot, wraps 32 bits
+
+	dst := New()
+	dst.Restore(src.Mode(), src.HardwareSnapshot(), src.Snapshot())
+	if dst.Mode() != src.Mode() {
+		t.Fatalf("mode: got %d, want %d", dst.Mode(), src.Mode())
+	}
+	if dst.HardwareSnapshot() != src.HardwareSnapshot() {
+		t.Fatalf("hardware counters: got %v, want %v", dst.HardwareSnapshot(), src.HardwareSnapshot())
+	}
+	if dst.Snapshot() != src.Snapshot() {
+		t.Fatalf("shadow counters differ after restore")
+	}
+
+	// The restored set must also be wired for its mode: counting must hit
+	// the same hardware slot as on the source.
+	src.Add(EvReadMiss, 1)
+	dst.Add(EvReadMiss, 1)
+	if dst.HardwareSnapshot() != src.HardwareSnapshot() {
+		t.Fatalf("post-restore Add diverged: got %v, want %v", dst.HardwareSnapshot(), src.HardwareSnapshot())
+	}
+}

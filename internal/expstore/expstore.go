@@ -138,10 +138,10 @@ type Store struct {
 	opts Options
 
 	mu    sync.Mutex
-	lru   *list.List // front = most recent; values are *entry
-	index map[Key]*list.Element
-	bytes int
-	stats Stats
+	lru   *list.List            // guarded by mu: front = most recent; values are *entry
+	index map[Key]*list.Element // guarded by mu
+	bytes int                   // guarded by mu
+	stats Stats                 // guarded by mu
 }
 
 // Open creates (if needed) and opens the store rooted at dir. An empty dir

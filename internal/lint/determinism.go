@@ -90,35 +90,45 @@ func (p *Pass) checkSelector(sel *ast.SelectorExpr) {
 }
 
 // checkMapRange flags `range m` over a map when the loop body lets the
-// (randomized) iteration order escape: writing state declared outside the
-// loop, returning values built from the loop variables, sending on a
-// channel, printing, or invoking a caller-supplied function with the loop
-// variables. Order-independent bodies (pure lookups, building an unordered
-// set) pass, as does the sorted-keys idiom itself: a body that only collects
-// the keys into a slice the enclosing function then sorts. Everything else
-// must iterate sorted keys or carry an ignore directive proving
-// order-independence.
+// (randomized) iteration order escape; see mapRangeHazard for the rules.
 func (p *Pass) checkMapRange(rs *ast.RangeStmt, encl *ast.FuncDecl) {
-	if p.isSortedKeyCollection(rs, encl) {
-		return
+	if hazard, why := mapRangeHazard(p.Pkg, rs, encl); hazard != nil {
+		p.Reportf(hazard, "map iteration order is randomized, and this loop %s; iterate sorted keys, or annotate with //spurlint:ignore determinism — <why order cannot matter>", why)
 	}
-	t := p.TypeOf(rs.X)
+}
+
+// mapRangeHazard inspects one range statement and returns the first node
+// that lets the (randomized) map iteration order escape, with a description
+// — or nil if the loop is order-independent. Hazards: writing state declared
+// outside the loop, returning values built from the loop variables, sending
+// on a channel, printing, or invoking a caller-supplied function with the
+// loop variables. Order-independent bodies (pure lookups, building an
+// unordered set) pass, as does the sorted-keys idiom itself: a body that
+// only collects the keys into a slice the enclosing function then sorts.
+// Shared by the per-package determinism check (which reports it directly)
+// and the whole-program taint analyzer (which treats it as a taint source
+// in any package).
+func mapRangeHazard(pkg *Package, rs *ast.RangeStmt, encl *ast.FuncDecl) (ast.Node, string) {
+	if isSortedKeyCollection(pkg, rs, encl) {
+		return nil, ""
+	}
+	t := pkg.Info.TypeOf(rs.X)
 	if t == nil {
-		return
+		return nil, ""
 	}
 	if _, ok := t.Underlying().(*types.Map); !ok {
-		return
+		return nil, ""
 	}
 
 	loopVars := map[types.Object]bool{}
 	for _, e := range []ast.Expr{rs.Key, rs.Value} {
 		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
-			if obj := p.Pkg.Info.ObjectOf(id); obj != nil {
+			if obj := pkg.Info.ObjectOf(id); obj != nil {
 				loopVars[obj] = true
 			}
 		}
 	}
-	info := p.Pkg.Info
+	info := pkg.Info
 
 	declaredOutside := func(e ast.Expr) (types.Object, bool) {
 		id := rootIdent(e)
@@ -190,9 +200,7 @@ func (p *Pass) checkMapRange(rs *ast.RangeStmt, encl *ast.FuncDecl) {
 		return hazard == nil
 	})
 
-	if hazard != nil {
-		p.Reportf(hazard, "map iteration order is randomized, and this loop %s; iterate sorted keys, or annotate with //spurlint:ignore determinism — <why order cannot matter>", why)
-	}
+	return hazard, why
 }
 
 // isSortedKeyCollection recognizes the first half of the sorted-keys idiom:
@@ -203,7 +211,7 @@ func (p *Pass) checkMapRange(rs *ast.RangeStmt, encl *ast.FuncDecl) {
 // The body must be exactly one append of loop variables into a slice, and
 // the enclosing function must pass that slice to a sort.* or slices.Sort*
 // call — collecting keys and then *not* sorting them is still a finding.
-func (p *Pass) isSortedKeyCollection(rs *ast.RangeStmt, encl *ast.FuncDecl) bool {
+func isSortedKeyCollection(pkg *Package, rs *ast.RangeStmt, encl *ast.FuncDecl) bool {
 	if encl == nil || len(rs.Body.List) != 1 {
 		return false
 	}
@@ -222,16 +230,16 @@ func (p *Pass) isSortedKeyCollection(rs *ast.RangeStmt, encl *ast.FuncDecl) bool
 	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
 		return false
 	}
-	if _, isBuiltin := p.Pkg.Info.ObjectOf(call.Fun.(*ast.Ident)).(*types.Builtin); !isBuiltin {
+	if _, isBuiltin := pkg.Info.ObjectOf(call.Fun.(*ast.Ident)).(*types.Builtin); !isBuiltin {
 		return false
 	}
 	if len(call.Args) < 2 {
 		return false
 	}
-	if first, ok := call.Args[0].(*ast.Ident); !ok || p.ObjectOf(first) != p.ObjectOf(dst) {
+	if first, ok := call.Args[0].(*ast.Ident); !ok || pkg.Info.ObjectOf(first) != pkg.Info.ObjectOf(dst) {
 		return false
 	}
-	obj := p.ObjectOf(dst)
+	obj := pkg.Info.ObjectOf(dst)
 	if obj == nil {
 		return false
 	}
@@ -243,13 +251,13 @@ func (p *Pass) isSortedKeyCollection(rs *ast.RangeStmt, encl *ast.FuncDecl) bool
 			return true
 		}
 		for _, path := range []string{"sort", "slices"} {
-			fn := funcIn(p.Pkg.Info, call.Fun, path)
+			fn := funcIn(pkg.Info, call.Fun, path)
 			if fn == nil {
 				continue
 			}
 			switch {
 			case strings.HasPrefix(fn.Name(), "Sort"), fn.Name() == "Slice", fn.Name() == "Strings", fn.Name() == "Ints":
-				if id, ok := unparen(call.Args[0]).(*ast.Ident); ok && p.ObjectOf(id) == obj {
+				if id, ok := unparen(call.Args[0]).(*ast.Ident); ok && pkg.Info.ObjectOf(id) == obj {
 					sorted = true
 				}
 			}

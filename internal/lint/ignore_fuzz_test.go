@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseIgnore hammers the directive parser with arbitrary text after
+// the //spurlint:ignore prefix. The invariants: it never panics, and when
+// it accepts a directive the check names a real analyzer and the reason is
+// non-empty — a suppression is a recorded decision, so "accepted but
+// reason-free" would let annotations rot into bare escape hatches.
+func FuzzParseIgnore(f *testing.F) {
+	seeds := []string{
+		" determinism — deadline for the serving harness",
+		" statecomplete -- derived from config",
+		" taint - never reaches results",
+		" lockconfine value is startup-only",
+		" determinism —",
+		" determinism",
+		"",
+		"   ",
+		" nosuchcheck — reason",
+		" determinism\t—\tweird whitespace",
+		" determinism — — double dash",
+		" determinism -—- mixed separators",
+		"\x00determinism — null",
+		" determinism — " + strings.Repeat("long ", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	valid := map[string]bool{}
+	for _, a := range Analyzers() {
+		valid[a.Name] = true
+	}
+
+	f.Fuzz(func(t *testing.T, rest string) {
+		d, err := parseIgnore(rest, valid)
+		if err != nil {
+			if d != nil {
+				t.Fatalf("parseIgnore(%q) returned both a directive and an error", rest)
+			}
+			return
+		}
+		if d == nil {
+			t.Fatalf("parseIgnore(%q) returned neither directive nor error", rest)
+		}
+		if !valid[d.check] {
+			t.Fatalf("parseIgnore(%q) accepted unknown check %q", rest, d.check)
+		}
+		if strings.TrimSpace(d.reason) == "" {
+			t.Fatalf("parseIgnore(%q) accepted an empty reason", rest)
+		}
+		if utf8.ValidString(rest) && !strings.Contains(rest, d.check) {
+			t.Fatalf("parseIgnore(%q) invented check %q not present in input", rest, d.check)
+		}
+	})
+}
+
+// TestParseIgnoreRejects pins the malformed shapes the fuzzer explores:
+// each stays an error (and therefore a finding at the directive site), so
+// a half-written suppression can never silently succeed.
+func TestParseIgnoreRejects(t *testing.T) {
+	valid := map[string]bool{"determinism": true}
+	for _, rest := range []string{
+		"",                  // nothing at all
+		"   ",               // whitespace only
+		" determinism",      // no reason
+		" determinism — ",   // separator but no reason
+		" determinism --",   // ditto, ASCII separator
+		" typo — a reason",  // unknown check
+		" Determinism — x",  // case matters: check names are exact
+		" determinism —\t ", // separator then whitespace
+	} {
+		if _, err := parseIgnore(rest, valid); err == nil {
+			t.Errorf("parseIgnore(%q) = nil error, want malformed-directive error", rest)
+		}
+	}
+}

@@ -21,6 +21,15 @@
 //   - goconfine: `go` statements only in packages allowed to own concurrency.
 //   - hotpath: the designated probe/translate hot-path functions stay on
 //     dense index-addressed structures — no map operations.
+//   - taint: interprocedural determinism — the module-wide call graph is
+//     walked and nondeterministic sources (wall clock, global RNG, escaping
+//     map order) taint their transitive callers; a model-package call into
+//     a tainted non-model function is a finding, reported with the chain.
+//   - statecomplete: every mutable field of a registered state type is
+//     covered by its snapshot/restore pair, or annotated with why it is
+//     derived, configuration, or rebuilt by replay.
+//   - lockconfine: in the concurrent packages, fields documented
+//     `// guarded by mu` are only touched with that mutex held.
 //
 // A finding can be suppressed, with a recorded justification, by a comment
 // on the offending line or the line above:
@@ -54,11 +63,47 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
 }
 
-// Analyzer is one named check run over every loaded package.
+// Analyzer is one named check. Per-package analyzers set Run and see one
+// package at a time; whole-program analyzers set RunProgram and see every
+// loaded package at once (the call-graph and snapshot-completeness checks
+// need cross-package facts no single Pass carries). An analyzer sets one or
+// the other.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
+}
+
+// ProgramPass is the whole-program context handed to Analyzer.RunProgram:
+// every package of the load, type-checked against one shared importer, so
+// objects resolved in one package are identical to the same objects seen
+// from another.
+type ProgramPass struct {
+	Pkgs     []*Package
+	analyzer *Analyzer
+	runner   *Runner
+}
+
+// Reportf records a finding at node's position, attributed to pkg (whose
+// ignore directives govern suppression).
+func (p *ProgramPass) Reportf(pkg *Package, node ast.Node, format string, args ...any) {
+	p.runner.report(pkg, node.Pos(), p.analyzer.Name, fmt.Sprintf(format, args...))
+}
+
+// sourceSuppressed reports whether a would-be taint source at pos in pkg is
+// covered by an ignore directive for any of the named checks, marking the
+// directive used. A recorded suppression ("this clock read is a deadline,
+// not model state") stops taint propagation the same way it stops the
+// direct finding.
+func (p *ProgramPass) sourceSuppressed(pkg *Package, pos token.Pos, checks ...string) bool {
+	position := p.runner.fset.Position(pos)
+	for _, c := range checks {
+		if pkg.ignores.suppress(position, c) {
+			return true
+		}
+	}
+	return false
 }
 
 // Pass is the per-(analyzer, package) context handed to Analyzer.Run.
@@ -123,6 +168,9 @@ func Analyzers() []*Analyzer {
 		ErrcheckAnalyzer,
 		GoConfineAnalyzer,
 		HotPathAnalyzer,
+		TaintAnalyzer,
+		StateCompleteAnalyzer,
+		LockConfineAnalyzer,
 	}
 }
 
@@ -160,6 +208,9 @@ func (r *Runner) report(pkg *Package, pos token.Pos, check, msg string) {
 
 // Run analyzes every package and returns all findings sorted by position.
 // Malformed and unused ignore directives are reported as check "directive".
+// Per-package analyzers run first, then whole-program analyzers over the
+// complete load; unused-directive hygiene runs last so a directive consumed
+// by any analyzer — including a program-level one — counts as used.
 func (r *Runner) Run(pkgs []*Package) []Finding {
 	valid := checkNames()
 	for _, pkg := range pkgs {
@@ -167,9 +218,20 @@ func (r *Runner) Run(pkgs []*Package) []Finding {
 		for _, bad := range pkg.ignores.malformed {
 			r.findings = append(r.findings, bad)
 		}
+	}
+	for _, pkg := range pkgs {
 		for _, a := range r.Analyzers {
-			a.Run(&Pass{Pkg: pkg, analyzer: a, runner: r})
+			if a.Run != nil {
+				a.Run(&Pass{Pkg: pkg, analyzer: a, runner: r})
+			}
 		}
+	}
+	for _, a := range r.Analyzers {
+		if a.RunProgram != nil {
+			a.RunProgram(&ProgramPass{Pkgs: pkgs, analyzer: a, runner: r})
+		}
+	}
+	for _, pkg := range pkgs {
 		for _, d := range pkg.ignores.unused(r.Analyzers) {
 			r.findings = append(r.findings, Finding{
 				Pos:   d.pos,

@@ -4,9 +4,11 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -22,6 +24,12 @@ import (
 // above, in which case the expectation applies to the next line carrying
 // code or a spurlint directive. Unexpected findings and unmatched wants both
 // fail the fixture.
+//
+// A *directory* under testdata is one multi-package fixture: each .go file
+// inside is its own package with its own //spurlint:path header, checked in
+// filename order, and earlier packages are importable by later ones. The
+// whole set is analyzed together, so program-wide analyzers (taint,
+// statecomplete) see cross-package facts exactly as they do on the module.
 
 var (
 	wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]*)"`)
@@ -29,6 +37,7 @@ var (
 )
 
 type expect struct {
+	file    string
 	line    int
 	check   string
 	substr  string
@@ -36,55 +45,92 @@ type expect struct {
 }
 
 func TestFixtures(t *testing.T) {
-	fset := token.NewFileSet()
-	imp := NewImporter(fset)
-	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.go"))
+	entries, err := os.ReadDir("testdata")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fixtures) == 0 {
-		t.Fatal("no fixtures under testdata")
+	ran := false
+	for _, e := range entries {
+		name := e.Name()
+		files := []string{filepath.Join("testdata", name)}
+		if e.IsDir() {
+			files, err = filepath.Glob(filepath.Join("testdata", name, "*.go"))
+			if err != nil || len(files) == 0 {
+				t.Fatalf("directory fixture %s holds no Go files", name)
+			}
+			sort.Strings(files)
+		} else if !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		ran = true
+		t.Run(name, func(t *testing.T) { runFixture(t, files) })
 	}
-	for _, fixture := range fixtures {
-		t.Run(filepath.Base(fixture), func(t *testing.T) {
-			src, err := os.ReadFile(fixture)
-			if err != nil {
-				t.Fatal(err)
-			}
-			m := pathRe.FindSubmatch(src)
-			if m == nil {
-				t.Fatalf("%s: missing //spurlint:path header", fixture)
-			}
-			path := string(m[1])
-
-			f, err := parser.ParseFile(fset, fixture, src, parser.ParseComments)
-			if err != nil {
-				t.Fatal(err)
-			}
-			typesPkg, info, err := Check(fset, imp, path, []*ast.File{f})
-			if err != nil {
-				t.Fatalf("type-checking fixture: %v", err)
-			}
-			pkg := &Package{Path: path, Dir: "testdata", Files: []*ast.File{f}, Info: info, Types: typesPkg}
-
-			findings := NewRunner(fset, nil).Run([]*Package{pkg})
-			wants := parseWants(string(src))
-			for _, fd := range findings {
-				if !claim(wants, fd) {
-					t.Errorf("unexpected finding: %s", fd)
-				}
-			}
-			for _, w := range wants {
-				if !w.matched {
-					t.Errorf("missing finding: want %s %q at %s:%d", w.check, w.substr, fixture, w.line)
-				}
-			}
-		})
+	if !ran {
+		t.Fatal("no fixtures under testdata")
 	}
 }
 
-// parseWants extracts the expectations from fixture source.
-func parseWants(src string) []*expect {
+// fixtureImporter serves the packages checked earlier in the same fixture
+// and defers everything else (stdlib) to the shared source importer.
+type fixtureImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return fi.base.Import(path)
+}
+
+// runFixture type-checks the fixture files (each its own package) in order,
+// runs the full suite over the set, and diffs findings against the want
+// comments of every file.
+func runFixture(t *testing.T, files []string) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{base: NewImporter(fset), pkgs: map[string]*types.Package{}}
+	var pkgs []*Package
+	var wants []*expect
+	for _, fixture := range files {
+		src, err := os.ReadFile(fixture)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := pathRe.FindSubmatch(src)
+		if m == nil {
+			t.Fatalf("%s: missing //spurlint:path header", fixture)
+		}
+		path := string(m[1])
+
+		f, err := parser.ParseFile(fset, fixture, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typesPkg, info, err := Check(fset, imp, path, []*ast.File{f})
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", fixture, err)
+		}
+		imp.pkgs[path] = typesPkg
+		pkgs = append(pkgs, &Package{Path: path, Dir: filepath.Dir(fixture), Files: []*ast.File{f}, Info: info, Types: typesPkg})
+		wants = append(wants, parseWants(filepath.Base(fixture), string(src))...)
+	}
+
+	findings := NewRunner(fset, nil).Run(pkgs)
+	for _, fd := range findings {
+		if !claim(wants, fd) {
+			t.Errorf("unexpected finding: %s", fd)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding: want %s %q at %s:%d", w.check, w.substr, w.file, w.line)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one fixture file's source.
+func parseWants(file, src string) []*expect {
 	lines := strings.Split(src, "\n")
 	var wants []*expect
 	for i, line := range lines {
@@ -109,7 +155,7 @@ func parseWants(src string) []*expect {
 				break
 			}
 		}
-		wants = append(wants, &expect{line: target, check: m[1], substr: m[2]})
+		wants = append(wants, &expect{file: file, line: target, check: m[1], substr: m[2]})
 	}
 	return wants
 }
@@ -117,7 +163,8 @@ func parseWants(src string) []*expect {
 // claim marks the first unmatched expectation the finding satisfies.
 func claim(wants []*expect, f Finding) bool {
 	for _, w := range wants {
-		if !w.matched && w.line == f.Pos.Line && w.check == f.Check && strings.Contains(f.Msg, w.substr) {
+		if !w.matched && w.line == f.Pos.Line && w.file == filepath.Base(f.Pos.Filename) &&
+			w.check == f.Check && strings.Contains(f.Msg, w.substr) {
 			w.matched = true
 			return true
 		}

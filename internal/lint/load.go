@@ -26,34 +26,156 @@ type Package struct {
 	Info *types.Info
 	// Types is the checked package object.
 	Types *types.Package
+	// FromModule marks packages loaded from the module tree by a Loader
+	// (as opposed to fixture packages checked under synthetic paths).
+	// Program-wide completeness rules — "registered state type missing" —
+	// only apply to module packages, so a fixture reusing a real import
+	// path for scope purposes is not obliged to redefine the real types.
+	FromModule bool
 
 	ignores *ignoreIndex
+}
+
+// Loader parses and type-checks module packages, each exactly once, and
+// serves them both as analysis roots and as dependencies of one another.
+//
+// Before the Loader existed, every root package was type-checked twice: once
+// by Load for analysis, and again — independently, from source — by the
+// go/importer when some other root imported it. The Loader is itself the
+// importer for module-internal paths, so "checked as a root" and "checked as
+// a dependency" are the same memoized work; only stdlib imports fall through
+// to the source importer (which memoizes by path on its own). One Loader
+// therefore type-checks the whole program once, and every analyzer — and
+// every fixture in the golden-file harness — shares that cache.
+type Loader struct {
+	fset     *token.FileSet
+	module   string // module path from go.mod
+	root     string // module root directory
+	fallback types.Importer
+
+	pkgs    map[string]*Package // memoized module packages by import path
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(fset *token.FileSet, root string) (*Loader, error) {
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		fset:     fset,
+		module:   module,
+		root:     root,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		loading:  map[string]bool{},
+	}, nil
+}
+
+// Import satisfies types.Importer: module-internal paths resolve through the
+// loader's own cache (type-checking on first use), everything else through
+// the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+// load parses and checks the module package at the given import path,
+// memoized. Returns nil (no error) for a directory with no non-test Go
+// files.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	pkg, err := l.loadDir(dir, path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// loadDir parses and checks one directory as import path; returns nil if it
+// holds no non-test Go files.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	pkg, info, err := Check(l.fset, l, path, files)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Info: info, Types: pkg, FromModule: true}, nil
 }
 
 // Load parses and type-checks the non-test sources of every package matched
 // by patterns ("./..." or directory paths), rooted at the module directory
 // root. Test files and testdata directories are excluded: the checks govern
 // production code, and tests legitimately use clocks, goroutines and
-// unordered iteration.
+// unordered iteration. Every package is type-checked exactly once, shared
+// between its role as an analysis root and as a dependency of other roots.
 func Load(fset *token.FileSet, root string, patterns []string) ([]*Package, error) {
-	module, err := modulePath(root)
+	l, err := NewLoader(fset, root)
 	if err != nil {
 		return nil, err
 	}
-	dirs, err := expandPatterns(root, patterns)
+	return l.Load(patterns)
+}
+
+// Load resolves patterns against the loader's module and returns the
+// matched packages in sorted directory order.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	dirs, err := expandPatterns(l.root, patterns)
 	if err != nil {
 		return nil, err
 	}
-
-	// The source importer type-checks dependencies (stdlib and repo
-	// packages alike) from source, so the suite needs no export data and
-	// no dependencies beyond the standard library. It caches by path, so
-	// shared dependencies are checked once.
-	imp := importer.ForCompiler(fset, "source", nil)
-
 	var pkgs []*Package
 	for _, dir := range dirs {
-		pkg, err := loadDir(fset, imp, module, root, dir)
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.module
+		if rel != "." {
+			path = l.module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path)
 		if err != nil {
 			return nil, err
 		}
@@ -127,45 +249,6 @@ func expandPatterns(root string, patterns []string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
-}
-
-// loadDir parses and checks one directory; returns nil if it holds no
-// non-test Go files.
-func loadDir(fset *token.FileSet, imp types.Importer, module, root, dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, nil
-	}
-
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	path := module
-	if rel != "." {
-		path = module + "/" + filepath.ToSlash(rel)
-	}
-
-	pkg, info, err := Check(fset, imp, path, files)
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
-	}
-	return &Package{Path: path, Dir: dir, Files: files, Info: info, Types: pkg}, nil
 }
 
 // Check type-checks a set of parsed files as package path, resolving imports

@@ -1,0 +1,461 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockConfineAnalyzer enforces the repo's mutex-confinement convention. The
+// fleet (internal/server, internal/cluster) and the result store
+// (internal/expstore) keep their shared state behind a `mu sync.Mutex`; the
+// convention that documents which fields the mutex protects is a line
+// comment on the field:
+//
+//	mu      sync.Mutex
+//	pending map[string]bool // guarded by mu
+//
+// This analyzer takes the comment at its word: any access to a guarded
+// field from a path that does not hold the lock is a finding. The analysis
+// is deliberately simple — statements are walked in order, branch bodies
+// inherit the state at entry and branch-local lock changes do not escape
+// (so `if bad { mu.Unlock(); return err }` keeps the fall-through path
+// locked) — which matches how every function in these packages is actually
+// written. Exemptions: a value freshly constructed in the same function
+// (not yet shared, so no lock exists to take), and functions that declare
+// the caller's obligation — a name ending in "Locked" or a doc comment
+// containing "holds mu" / "mu held" — are analyzed with the lock held at
+// entry. Function literals are analyzed lock-free: a closure outlives the
+// critical section it was built in (goroutines, callbacks, defers).
+var LockConfineAnalyzer = &Analyzer{
+	Name: "lockconfine",
+	Doc:  "fields documented `guarded by mu` are only touched with the mutex held",
+	Run:  runLockConfine,
+}
+
+// guardedStruct is one struct with a mutex and documented guarded fields.
+type guardedStruct struct {
+	lock    *types.Var            // the mutex field
+	guarded map[*types.Var]string // guarded field -> lock field name
+}
+
+func runLockConfine(p *Pass) {
+	guards := collectGuardedStructs(p)
+	if len(guards) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lc := &lockChecker{p: p, guards: guards, fresh: map[types.Object]bool{}}
+			held := map[lockKey]bool{}
+			if assumesLockHeld(fd) {
+				// The function declares that callers lock: treat the
+				// receiver's own mutex as held at entry.
+				if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+					if obj := p.Pkg.Info.ObjectOf(fd.Recv.List[0].Names[0]); obj != nil {
+						if gs := lc.structFor(obj.Type()); gs != nil {
+							held[lockKey{root: obj, lock: gs.lock}] = true
+						}
+					}
+				}
+			}
+			lc.walkStmts(fd.Body.List, held)
+		}
+	}
+}
+
+// collectGuardedStructs finds every struct in the package with a
+// sync.Mutex/RWMutex field and at least one sibling field whose line or doc
+// comment contains "guarded by <lockname>".
+func collectGuardedStructs(p *Pass) map[*types.Named]*guardedStruct {
+	out := map[*types.Named]*guardedStruct{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			named, ok := p.Pkg.Info.Defs[ts.Name].Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			// First pass: the mutex fields by name.
+			locks := map[string]*types.Var{}
+			for _, fld := range st.Fields.List {
+				if !isMutexType(p.Pkg.Info.TypeOf(fld.Type)) {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := p.Pkg.Info.Defs[name].(*types.Var); ok {
+						locks[name.Name] = v
+					}
+				}
+			}
+			if len(locks) == 0 {
+				return true
+			}
+			// Second pass: fields documented as guarded.
+			gs := &guardedStruct{guarded: map[*types.Var]string{}}
+			for _, fld := range st.Fields.List {
+				lockName := guardedByComment(fld)
+				if lockName == "" {
+					continue
+				}
+				lock, ok := locks[lockName]
+				if !ok {
+					for _, name := range fld.Names {
+						p.Reportf(name, "field %s is documented `guarded by %s`, but %s has no mutex field %q", name.Name, lockName, ts.Name.Name, lockName)
+					}
+					continue
+				}
+				gs.lock = lock
+				for _, name := range fld.Names {
+					if v, ok := p.Pkg.Info.Defs[name].(*types.Var); ok {
+						gs.guarded[v] = lockName
+					}
+				}
+			}
+			if len(gs.guarded) > 0 {
+				out[named] = gs
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardedByComment extracts the lock name from a field's doc or line
+// comment: "guarded by mu" -> "mu".
+func guardedByComment(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		idx := strings.Index(text, "guarded by ")
+		if idx < 0 {
+			continue
+		}
+		rest := text[idx+len("guarded by "):]
+		if end := strings.IndexFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '.' || r == ',' || r == ';' || r == ':' ||
+				r == '`' || r == '"' || r == ')' || r == '\n'
+		}); end >= 0 {
+			rest = rest[:end]
+		}
+		return rest
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// assumesLockHeld reports whether fd declares the caller-locks convention:
+// a name ending in "Locked", or a doc comment saying the caller "holds mu"
+// (qualified receivers — "Caller holds s.mu." — count too) or "mu held".
+func assumesLockHeld(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	if fd.Doc == nil {
+		return false
+	}
+	text := fd.Doc.Text()
+	if strings.Contains(text, "mu held") {
+		return true
+	}
+	idx := strings.Index(text, "holds ")
+	if idx < 0 {
+		return false
+	}
+	tok := text[idx+len("holds "):]
+	if end := strings.IndexFunc(tok, func(r rune) bool {
+		return r == ' ' || r == ',' || r == ';' || r == '\n'
+	}); end >= 0 {
+		tok = tok[:end]
+	}
+	tok = strings.TrimRight(tok, ".")
+	return tok == "mu" || strings.HasSuffix(tok, ".mu")
+}
+
+// lockKey identifies one mutex instance in scope: the root variable the
+// access path starts from plus the mutex field.
+type lockKey struct {
+	root types.Object
+	lock *types.Var
+}
+
+// lockChecker walks one function body simulating lock state.
+type lockChecker struct {
+	p      *Pass
+	guards map[*types.Named]*guardedStruct
+	// fresh holds locals initialized from a composite literal or new() in
+	// this function: not yet shared, so their guarded fields are free.
+	fresh map[types.Object]bool
+}
+
+// structFor resolves a variable type (possibly pointer) to its guarded
+// struct entry.
+func (lc *lockChecker) structFor(t types.Type) *guardedStruct {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return lc.guards[named]
+	}
+	return nil
+}
+
+// walkStmts processes statements in order, threading lock state.
+func (lc *lockChecker) walkStmts(stmts []ast.Stmt, held map[lockKey]bool) {
+	for _, s := range stmts {
+		lc.walkStmt(s, held)
+	}
+}
+
+func copyHeld(held map[lockKey]bool) map[lockKey]bool {
+	out := make(map[lockKey]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (lc *lockChecker) walkStmt(s ast.Stmt, held map[lockKey]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := lc.lockOp(s.X); ok {
+			held[key] = op
+			return
+		}
+		lc.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op, ok := lc.lockOp(s.Call); ok && !op {
+			return // defer mu.Unlock(): held through the rest of the body
+		}
+		lc.checkExpr(s.Call, held)
+	case *ast.AssignStmt:
+		lc.noteFresh(s)
+		for _, e := range s.Rhs {
+			lc.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lc.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		lc.checkExpr(s.Cond, held)
+		lc.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lc.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.checkExpr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			lc.walkStmt(s.Post, inner)
+		}
+		lc.walkStmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		lc.checkExpr(s.X, held)
+		lc.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lc.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					lc.checkExpr(e, held)
+				}
+				lc.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.walkStmt(s.Init, held)
+		}
+		lc.walkStmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					lc.walkStmt(cc.Comm, copyHeld(held))
+				}
+				lc.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		lc.walkStmts(s.List, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		lc.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		lc.checkExpr(s.Chan, held)
+		lc.checkExpr(s.Value, held)
+	case *ast.GoStmt:
+		lc.checkExpr(s.Call, map[lockKey]bool{})
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.checkExpr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		lc.walkStmt(s.Stmt, held)
+	}
+}
+
+// lockOp recognizes x.mu.Lock()/RLock() (true) and Unlock/RUnlock (false)
+// calls on a tracked mutex field.
+func (lc *lockChecker) lockOp(e ast.Expr) (lockKey, bool, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return lockKey{}, false, false
+	}
+	// sel.X must itself be a selector to the mutex field: root.mu.
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	lockVar, ok := lc.p.Pkg.Info.ObjectOf(inner.Sel).(*types.Var)
+	if !ok || !isMutexType(lockVar.Type()) {
+		return lockKey{}, false, false
+	}
+	root := rootIdent(inner.X)
+	if root == nil {
+		return lockKey{}, false, false
+	}
+	obj := lc.p.Pkg.Info.ObjectOf(root)
+	if obj == nil {
+		return lockKey{}, false, false
+	}
+	return lockKey{root: obj, lock: lockVar}, acquire, true
+}
+
+// noteFresh records locals assigned from a composite literal or new(): a
+// value this function just built, not yet visible to any other goroutine.
+func (lc *lockChecker) noteFresh(s *ast.AssignStmt) {
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || i >= len(s.Rhs) {
+			continue
+		}
+		obj := lc.p.Pkg.Info.ObjectOf(id)
+		if obj == nil {
+			continue
+		}
+		rhs := unparen(s.Rhs[i])
+		if ue, ok := rhs.(*ast.UnaryExpr); ok {
+			rhs = unparen(ue.X)
+		}
+		switch r := rhs.(type) {
+		case *ast.CompositeLit:
+			lc.fresh[obj] = true
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok && id.Name == "new" {
+				lc.fresh[obj] = true
+			}
+		}
+	}
+}
+
+// checkExpr reports guarded-field accesses in e made without the lock.
+// Function literals are analyzed with no locks held: by the time a closure
+// runs, the critical section that built it is gone.
+func (lc *lockChecker) checkExpr(e ast.Expr, held map[lockKey]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			lc.walkStmts(fl.Body.List, map[lockKey]bool{})
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo := lc.p.Pkg.Info.Selections[sel]
+		if selInfo == nil || selInfo.Kind() != types.FieldVal {
+			return true
+		}
+		fieldVar, ok := selInfo.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		gs := lc.structFor(selInfo.Recv())
+		if gs == nil {
+			return true
+		}
+		lockName, guarded := gs.guarded[fieldVar]
+		if !guarded {
+			return true
+		}
+		root := rootIdent(sel.X)
+		if root == nil {
+			return true
+		}
+		obj := lc.p.Pkg.Info.ObjectOf(root)
+		if obj == nil || lc.fresh[obj] {
+			return true
+		}
+		if !held[lockKey{root: obj, lock: gs.lock}] {
+			lc.p.Reportf(sel, "%s.%s is guarded by %s, but this path does not hold it; lock first, or mark the function as caller-locked (suffix Locked / doc \"holds %s\")",
+				root.Name, fieldVar.Name(), lockName, lockName)
+		}
+		return true
+	})
+}

@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TaintAnalyzer is the interprocedural half of the determinism contract.
+// The per-package determinism analyzer sees only direct calls: a model
+// package that reads the wall clock through one helper hop — spur code
+// calling a utility that calls time.Now — went unseen before this check.
+//
+// The analyzer builds a static call graph over every loaded package and
+// propagates "nondeterministic source" taint backwards along call edges.
+// A function is a source if its body directly reads the wall clock, draws
+// from the process-global RNG, uses crypto/rand, or iterates a map in an
+// order-leaking way (the same hazard rules the determinism analyzer
+// applies, here in any package). Any module function that can reach a
+// source is tainted. The finding is raised at the boundary: a call site in
+// a model package whose callee is a tainted function outside the model —
+// the exact edge where nondeterminism would leak into results that the
+// content-addressed store assumes replay byte-identically.
+//
+// A source site suppressed with //spurlint:ignore determinism (or taint)
+// does not propagate: the recorded decision "this clock read is a deadline,
+// not model state" covers every caller. Limits are the suite's usual
+// syntactic ones: only static calls are traversed (no function values, no
+// interface dispatch), and stdlib bodies are opaque beyond the named
+// source functions.
+var TaintAnalyzer = &Analyzer{
+	Name:       "taint",
+	Doc:        "interprocedural determinism: model code must not transitively reach wall-clock/global-RNG/map-order sources",
+	RunProgram: runTaint,
+}
+
+// taintEdge is one static call: the callee and the call site.
+type taintEdge struct {
+	callee *types.Func
+	site   ast.Node
+}
+
+// taintNode is one module function in the call graph.
+type taintNode struct {
+	fn    *types.Func
+	pkg   *Package
+	decl  *ast.FuncDecl
+	calls []taintEdge
+	// source, when non-empty, describes the direct nondeterminism in this
+	// function's own body ("time.Now (wall clock)").
+	source string
+	// via is the first tainted callee discovered, for chain reporting.
+	via *types.Func
+}
+
+func runTaint(p *ProgramPass) {
+	byPath := map[string]*Package{}
+	for _, pkg := range p.Pkgs {
+		byPath[pkg.Path] = pkg
+	}
+
+	// Build the graph: one node per declared function with a body,
+	// in deterministic (package, file, position) order.
+	var order []*types.Func
+	nodes := map[*types.Func]*taintNode{}
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &taintNode{fn: fn, pkg: pkg, decl: fd}
+				buildTaintNode(p, n, byPath)
+				nodes[fn] = n
+				order = append(order, fn)
+			}
+		}
+	}
+
+	// Propagate taint to callers until fixpoint. Iterating the sorted
+	// order slice keeps the discovered witness chains — and therefore the
+	// findings — identical on every run.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range order {
+			n := nodes[fn]
+			if n.source != "" || n.via != nil {
+				continue
+			}
+			for _, e := range n.calls {
+				c := nodes[e.callee]
+				if c != nil && (c.source != "" || c.via != nil) {
+					n.via = e.callee
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Report at the model boundary: a call from model code into a tainted
+	// function that lives outside the model scope. Sources *inside* model
+	// packages are the determinism analyzer's direct findings; repeating
+	// them here would double-report every such site.
+	for _, fn := range order {
+		n := nodes[fn]
+		if !modelPackages[n.pkg.Path] {
+			continue
+		}
+		for _, e := range n.calls {
+			c := nodes[e.callee]
+			if c == nil || (c.source == "" && c.via == nil) {
+				continue
+			}
+			if modelPackages[c.pkg.Path] {
+				continue
+			}
+			p.Reportf(n.pkg, e.site, "call into nondeterministic code: %s; model results must be a pure function of the spec — hoist the value to the caller, or annotate //spurlint:ignore taint — <why this cannot reach results>",
+				taintChain(nodes, e.callee))
+		}
+	}
+}
+
+// buildTaintNode scans one function body for direct sources and static
+// call edges into other module functions. Call sites and source sites
+// covered by a taint/determinism ignore directive are dropped here, so the
+// suppression stops propagation as well as reporting.
+func buildTaintNode(p *ProgramPass, n *taintNode, byPath map[string]*Package) {
+	info := n.pkg.Info
+	var enclosing []*ast.FuncDecl
+	ast.Inspect(n.decl, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncDecl:
+			enclosing = append(enclosing, node)
+		case *ast.CallExpr:
+			callee := staticCallee(info, node)
+			if callee == nil {
+				return true
+			}
+			if desc := stdlibSource(callee); desc != "" {
+				if n.source == "" && !p.sourceSuppressed(n.pkg, node.Pos(), "taint", "determinism") {
+					n.source = desc
+				}
+				return true
+			}
+			if cp := callee.Pkg(); cp != nil && byPath[cp.Path()] != nil {
+				if !p.sourceSuppressed(n.pkg, node.Pos(), "taint") {
+					n.calls = append(n.calls, taintEdge{callee: callee, site: node})
+				}
+			}
+		case *ast.RangeStmt:
+			if n.source != "" {
+				return true
+			}
+			var encl *ast.FuncDecl
+			for i := len(enclosing) - 1; i >= 0; i-- {
+				if contains(enclosing[i], node) {
+					encl = enclosing[i]
+					break
+				}
+			}
+			if encl == nil {
+				encl = n.decl
+			}
+			if hazard, why := mapRangeHazard(n.pkg, node, encl); hazard != nil {
+				if !p.sourceSuppressed(n.pkg, hazard.Pos(), "taint", "determinism") {
+					n.source = "a map iterated in nondeterministic order (" + why + ")"
+				}
+			}
+		}
+		return true
+	})
+}
+
+// staticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for builtins, conversions, function values and interface
+// dispatch.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		// Interface dispatch has a *types.Selection with an interface
+		// receiver; the object is still a *types.Func but has no body
+		// anywhere we can see. It resolves to a func with no node in the
+		// graph, which propagation treats as untainted — the documented
+		// static-call limit.
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// stdlibSource classifies fn as a direct nondeterminism source: the wall
+// clock and scheduler functions of the time package, the process-global
+// math/rand streams, and all of crypto/rand.
+func stdlibSource(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Methods compute on values already in hand (time.Time.Sub);
+		// only package-level functions observe the environment.
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if forbiddenTimeFuncs[fn.Name()] {
+			return fmt.Sprintf("time.%s (wall clock)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(fn.Name(), "New") {
+			return fmt.Sprintf("%s.%s (process-global RNG)", fn.Pkg().Name(), fn.Name())
+		}
+	case "crypto/rand":
+		return fmt.Sprintf("crypto/rand.%s (cryptographic randomness)", fn.Name())
+	}
+	return ""
+}
+
+// taintChain renders the witness path from fn to its nondeterminism source:
+// "server.stamp → util.clock → time.Now (wall clock)".
+func taintChain(nodes map[*types.Func]*taintNode, fn *types.Func) string {
+	var hops []string
+	for fn != nil {
+		n := nodes[fn]
+		if n == nil {
+			break
+		}
+		hops = append(hops, shortFuncName(fn))
+		if n.source != "" {
+			hops = append(hops, n.source)
+			break
+		}
+		fn = n.via
+	}
+	return strings.Join(hops, " → ")
+}
+
+// shortFuncName renders a module function compactly: pkgname.Func or
+// pkgname.(*Recv).Method.
+func shortFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		ptr := ""
+		if pt, ok := recv.(*types.Pointer); ok {
+			recv = pt.Elem()
+			ptr = "*"
+		}
+		if named, ok := recv.(*types.Named); ok {
+			name = "(" + ptr + named.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,51 @@
+//spurlint:path repro/internal/server
+
+// Positive lock-confinement fixtures: fields documented `guarded by mu`
+// touched on paths that do not hold the mutex.
+package fixture
+
+import "sync"
+
+// box keeps one counter behind its mutex.
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// want lockconfine "field tag is documented `guarded by lock`, but box has no mutex field"
+	tag string // guarded by lock
+}
+
+// Bump writes the guarded field without taking the lock at all.
+func (b *box) Bump() {
+	b.n++ // want lockconfine "b.n is guarded by mu, but this path does not hold it"
+}
+
+// Leak reads the guarded field again after releasing the lock.
+func (b *box) Leak() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n + b.n // want lockconfine "b.n is guarded by mu"
+}
+
+// Spawn holds the lock, but the goroutine it launches outlives the critical
+// section: the closure's accesses are checked lock-free.
+func (b *box) Spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want lockconfine "b.n is guarded by mu"
+	}()
+}
+
+// branchLeak unlocks inside one branch; the branch-local release must not
+// leak into the fall-through path, but the access inside the branch after
+// the unlock is a finding.
+func (b *box) branchLeak(bad bool) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bad {
+		b.mu.Unlock()
+		return b.n // want lockconfine "b.n is guarded by mu"
+	}
+	return b.n
+}

@@ -1,0 +1,57 @@
+//spurlint:path repro/internal/server
+
+// Negative lock-confinement fixtures: every access pattern the convention
+// blesses — lock/unlock pairs, deferred unlock, caller-locked helpers,
+// freshly constructed values, and branch-local unlock on an error path.
+package fixture
+
+import "sync"
+
+// reg keeps a map behind its mutex.
+type reg struct {
+	mu sync.Mutex
+	m  map[string]int // guarded by mu
+}
+
+// newReg builds a fresh value: nothing else can see it, so no lock exists
+// to take yet.
+func newReg() *reg {
+	r := &reg{}
+	r.m = map[string]int{}
+	return r
+}
+
+// Get locks around the access with a deferred unlock.
+func (r *reg) Get(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// Put unlocks on the early-return branch; the fall-through path stays
+// locked.
+func (r *reg) Put(k string, v int) bool {
+	r.mu.Lock()
+	if r.m == nil {
+		r.mu.Unlock()
+		return false
+	}
+	r.m[k] = v
+	r.mu.Unlock()
+	return true
+}
+
+// sizeLocked declares the caller-locks convention by suffix.
+func (r *reg) sizeLocked() int { return len(r.m) }
+
+// reset clears the registry. Caller holds r.mu.
+func (r *reg) reset() {
+	r.m = map[string]int{}
+}
+
+// Size takes the lock and may call caller-locked helpers.
+func (r *reg) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sizeLocked()
+}

@@ -1,0 +1,16 @@
+//spurlint:path repro/internal/mem
+
+// Positive statecomplete fixture: the registered type exists but one half
+// of its registered snapshot path does not — retiring RestoreFree without
+// updating the registry must fail the lint, not silently skip the check.
+// The finding anchors on the package clause (the type's package).
+// want statecomplete "registered state type Pool has no restore function Pool.RestoreFree"
+package fixture
+
+// Pool mimics the registered frame pool.
+type Pool struct {
+	free []uint32
+}
+
+// ExportFree covers the only field.
+func (p *Pool) ExportFree() []uint32 { return p.free }

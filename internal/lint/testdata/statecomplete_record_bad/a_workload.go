@@ -1,0 +1,11 @@
+//spurlint:path repro/internal/workload
+
+// Generator-state stand-in for the record fixture: workload.Script is on
+// the replay-rebuilt list, so serializing it into a snapshot record is a
+// design error.
+package workload
+
+// Script is generator state: a pure function of (spec, seed).
+type Script struct {
+	Pos int
+}

@@ -1,0 +1,32 @@
+//spurlint:path repro/internal/vm
+
+// Positive record fixture: a serialized snapshot record that embeds
+// replay-rebuilt generator state. The snapshot contract rebuilds workload
+// and proc state by replaying the stream; carrying a serialized copy
+// invites divergence between the copy and the replay.
+package fixture
+
+import "repro/internal/workload"
+
+// Pager mimics the registered live state type.
+type Pager struct {
+	pages []uint64
+}
+
+// PagerState mimics the registered serialization record.
+type PagerState struct {
+	Pages []uint64
+	// want statecomplete "snapshot record field Gen embeds workload.Script"
+	Gen *workload.Script
+}
+
+// ExportState covers every live and record field.
+func (p *Pager) ExportState() PagerState {
+	return PagerState{Pages: p.pages, Gen: nil}
+}
+
+// RestoreState covers every live and record field.
+func (p *Pager) RestoreState(s PagerState) {
+	p.pages = s.Pages
+	_ = s.Gen
+}

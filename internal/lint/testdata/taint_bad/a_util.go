@@ -1,0 +1,24 @@
+//spurlint:path repro/internal/spurutil
+
+// Utility package outside the model scope: direct clock reads and map
+// iteration are legal here — the per-package determinism analyzer does not
+// apply — but they make these functions taint sources for model callers.
+package spurutil
+
+import "time"
+
+// Now reads the wall clock directly.
+func Now() int64 { return time.Now().UnixNano() }
+
+// Stamp reaches the clock through one more hop; taint must propagate
+// transitively for the model-side call to be caught.
+func Stamp() int64 { return Now() + 1 }
+
+// Pick returns some element of m; which one depends on the randomized map
+// iteration order.
+func Pick(m map[int]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}

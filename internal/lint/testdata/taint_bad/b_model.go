@@ -1,0 +1,19 @@
+//spurlint:path repro/internal/cache
+
+// Positive taint fixtures: a model package reaching nondeterministic
+// sources through helper calls the per-package determinism analyzer cannot
+// see. The finding sits at the model-side call, and the message carries the
+// witness chain down to the source.
+package fixture
+
+import "repro/internal/spurutil"
+
+// Tag folds a transitive wall-clock read into a model value.
+func Tag() int64 {
+	return spurutil.Stamp() // want taint "spurutil.Stamp → spurutil.Now → time.Now (wall clock)"
+}
+
+// Choose folds map iteration order from a helper into a model value.
+func Choose(m map[int]int) int {
+	return spurutil.Pick(m) // want taint "call into nondeterministic code: spurutil.Pick → a map iterated in nondeterministic order"
+}

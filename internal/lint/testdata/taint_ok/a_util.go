@@ -1,0 +1,24 @@
+//spurlint:path repro/internal/spurutil
+
+// Utility package for the negative taint fixture: a helper whose clock read
+// carries a recorded suppression, and a plainly deterministic one.
+package spurutil
+
+import "time"
+
+// Deadline computes a harness retry deadline. The clock read is suppressed
+// on the record, so it must not taint model callers: the decision "this
+// value never reaches results" covers the whole call chain.
+func Deadline() time.Time {
+	//spurlint:ignore taint — serving-harness retry deadline; never folded into model results
+	return time.Now().Add(time.Second)
+}
+
+// Sum is a pure function.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

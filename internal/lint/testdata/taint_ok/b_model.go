@@ -1,0 +1,15 @@
+//spurlint:path repro/internal/cache
+
+// Negative taint fixtures: model calls into clean helpers, and into a
+// helper whose nondeterminism is suppressed at the source. Neither is a
+// finding.
+package fixture
+
+import "repro/internal/spurutil"
+
+// Total calls a deterministic helper; no taint anywhere.
+func Total(xs []int) int { return spurutil.Sum(xs) }
+
+// Wait uses the suppressed deadline helper: the source-side directive stops
+// propagation, so the model-side call is clean.
+func Wait() bool { return spurutil.Deadline().IsZero() }

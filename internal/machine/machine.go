@@ -76,19 +76,27 @@ func DefaultConfig() Config {
 
 // Machine is one assembled simulator instance.
 type Machine struct {
-	Cfg    Config
-	Ctr    *counters.Set
-	Cache  *cache.Cache
-	Table  *pte.Table
+	//spurlint:ignore statecomplete — the spec itself; sample keys snapshots by config hash instead of serializing it
+	Cfg   Config
+	Ctr   *counters.Set
+	Cache *cache.Cache
+	Table *pte.Table
+	//spurlint:ignore statecomplete — stateless in-cache translation unit, rebuilt when the machine is wired
 	X      *xlate.Unit
 	Pool   *mem.Pool
 	Pager  *vm.Pager
 	Engine *core.Engine
+	//spurlint:ignore statecomplete — fault-injection harness configuration; experiments never checkpoint under injection
 	Inject *faultinject.Injector
 
+	// Segment allocation is a pure function of the workload stream: replaying
+	// the recorded warm-up prefix (sample.MachineState.Refs) reconstructs it.
+	//spurlint:ignore statecomplete — rebuilt by replaying the warm-up reference stream
 	segNext addr.SegmentID
+	//spurlint:ignore statecomplete — rebuilt by replaying the warm-up reference stream
 	segFree []addr.SegmentID
 
+	//spurlint:ignore statecomplete — rebuilt by replaying the warm-up reference stream
 	refs int64
 }
 

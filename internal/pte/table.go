@@ -60,9 +60,11 @@ type chunkDir [dirEntries]*chunk
 // pages are entered (the simulator never instantiates the full 256 MB
 // array, but what it does instantiate is flat).
 type Table struct {
+	//spurlint:ignore statecomplete — construction-time configuration (NewTable), not mutated afterwards
 	seg  addr.SegmentID // reserved segment holding the first-level array
 	dirs [numDirs]*chunkDir
-	n    int // count of non-zero entries
+	//spurlint:ignore statecomplete — derived count of non-zero entries; Set maintains it while restoring
+	n int // count of non-zero entries
 }
 
 // NewTable returns an empty page table whose first-level array lives in

@@ -46,15 +46,16 @@ type jobRecord struct {
 // jobLog is the durable accept/done journal plus its live counters.
 type jobLog struct {
 	mu      sync.Mutex
-	w       *journal.Writer
-	pending map[string]bool // keys accepted but not yet done
+	w       *journal.Writer // guarded by mu
+	pending map[string]bool // guarded by mu: keys accepted but not yet done
 
 	accepted  atomic.Uint64
 	completed atomic.Uint64
 	recovered atomic.Uint64
 
 	// replayed holds the jobs owed from the previous process, in arrival
-	// order; RecoverJobs drains it.
+	// order. It is written at open time and drained once by RecoverJobs
+	// before the listener starts, so it needs no lock.
 	replayed []jobRecord
 }
 

@@ -27,7 +27,7 @@ type queue struct {
 	maxQueue int
 
 	mu       sync.Mutex
-	waiting  int
+	waiting  int // guarded by mu
 	running  atomic.Int64
 	rejected atomic.Uint64
 }
@@ -104,7 +104,7 @@ func (q *queue) stats(deduped uint64) client.QueueStats {
 // leader's result instead of queueing duplicate simulator work.
 type flight struct {
 	mu      sync.Mutex
-	calls   map[expstore.Key]*call
+	calls   map[expstore.Key]*call // guarded by mu
 	deduped atomic.Uint64
 }
 

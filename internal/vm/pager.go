@@ -88,11 +88,16 @@ type Fault struct {
 
 // Pager is the Sprite-like virtual memory manager.
 type Pager struct {
+	//spurlint:ignore statecomplete — component wiring; the pool's free list goes through Pool.ExportFree/RestoreFree
 	pool *mem.Pool
-	os   OS
-	ctr  *counters.Set
-	tp   timing.Params
+	//spurlint:ignore statecomplete — component wiring, re-established by SetOS when the machine is rebuilt
+	os OS
+	//spurlint:ignore statecomplete — component wiring; counters are armed per measured interval, not checkpointed
+	ctr *counters.Set
+	//spurlint:ignore statecomplete — timing configuration from the spec, not accumulated state
+	tp timing.Params
 
+	//spurlint:ignore statecomplete — rebuilt by replaying the warm-up reference stream (see sample.MachineState)
 	regions []Region
 	pages   map[addr.GVPN]*Page
 
@@ -106,18 +111,21 @@ type Pager struct {
 
 	// Runnable, if set, reports how many processes could use the CPU; a
 	// page-in stall overlaps with other work when it exceeds one.
+	//spurlint:ignore statecomplete — callback wiring installed by the scheduler when the machine is rebuilt
 	Runnable func() int
 
 	// AutoRegister makes faults outside any region register a writable
 	// data page on the fly instead of panicking. Trace replay uses it:
 	// a stored trace carries addresses but not the region bookkeeping of
 	// the run that produced it.
+	//spurlint:ignore statecomplete — replay-harness configuration, set by the driver, not machine state
 	AutoRegister bool
 
 	// Inject, when non-nil, can fail backing-store reads transiently
 	// (faultinject.PageInIO); the pager retries with exponential backoff
 	// charged to the elapsed-time model, and raises *IOError past
 	// MaxPageInRetries. A nil injector is inert.
+	//spurlint:ignore statecomplete — fault-injection harness configuration; experiments never checkpoint under injection
 	Inject *faultinject.Injector
 
 	// Stats is the pager activity record.

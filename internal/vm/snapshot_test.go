@@ -1,0 +1,136 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/mem"
+	"repro/internal/timing"
+)
+
+func restorePager(t *testing.T) *Pager {
+	t.Helper()
+	return NewPager(mem.NewPool(8, 0), counters.New(), timing.Default())
+}
+
+// TestRestoreStateRejectsCorruptSnapshots pins every validation error in
+// RestoreState: each corrupt PagerState must be refused with a message
+// naming the violated invariant, and a refused restore must leave the
+// pager untouched — a half-applied snapshot is worse than a failed one.
+func TestRestoreStateRejectsCorruptSnapshots(t *testing.T) {
+	page := func(vpn uint64, resident bool) PageState {
+		return PageState{VPN: vpn, Kind: Heap, Resident: resident}
+	}
+	cases := []struct {
+		name string
+		s    PagerState
+		want string
+	}{
+		{
+			name: "duplicate page",
+			s: PagerState{
+				Pages: []PageState{page(0x10, false), page(0x10, false)},
+			},
+			want: "lists page 0x10 twice",
+		},
+		{
+			name: "ring shorter than resident set",
+			s: PagerState{
+				Pages: []PageState{page(0x10, true), page(0x11, true)},
+				Clock: []uint64{0x10},
+			},
+			want: "ring has 1 pages but 2 are resident",
+		},
+		{
+			name: "ring longer than resident set",
+			s: PagerState{
+				Pages: []PageState{page(0x10, true)},
+				Clock: []uint64{0x10, 0x11},
+			},
+			want: "ring has 2 pages but 1 are resident",
+		},
+		{
+			name: "ring names non-resident page",
+			s: PagerState{
+				Pages: []PageState{page(0x10, true), page(0x11, false)},
+				Clock: []uint64{0x11},
+			},
+			want: "ring names non-resident page 0x11",
+		},
+		{
+			name: "ring names unknown page",
+			s: PagerState{
+				Pages: []PageState{page(0x10, true)},
+				Clock: []uint64{0x99},
+			},
+			want: "ring names non-resident page 0x99",
+		},
+		{
+			name: "ring names page twice",
+			s: PagerState{
+				Pages: []PageState{page(0x10, true), page(0x11, true)},
+				Clock: []uint64{0x10, 0x10},
+			},
+			want: "ring names page 0x10 twice",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pg := restorePager(t)
+			good := PagerState{
+				Pages: []PageState{page(0x1, true)},
+				Clock: []uint64{0x1},
+			}
+			if err := pg.RestoreState(good); err != nil {
+				t.Fatalf("restoring a valid snapshot failed: %v", err)
+			}
+			err := pg.RestoreState(tc.s)
+			if err == nil {
+				t.Fatalf("RestoreState accepted a corrupt snapshot, want %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("RestoreState error = %q, want it to contain %q", err, tc.want)
+			}
+			// The failed restore must not have clobbered the prior state.
+			if pg.Lookup(0x1) == nil || pg.ResidentPages() != 1 {
+				t.Fatalf("failed restore mutated the pager: %+v", pg.ExportState())
+			}
+		})
+	}
+}
+
+// TestRestoreStateRoundTrip: export → restore into a fresh pager → export
+// again must reproduce the snapshot exactly, including ring order.
+func TestRestoreStateRoundTrip(t *testing.T) {
+	s := PagerState{
+		Pages: []PageState{
+			{VPN: 0x10, Kind: Heap, Resident: true, Frame: 3, SoftDirty: true, EverDirtied: true},
+			{VPN: 0x11, Kind: Heap, OnStore: true},
+			{VPN: 0x20, Kind: Code, Resident: true, Frame: 1},
+		},
+		Clock:  []uint64{0x20, 0x10},
+		Cycles: 12345,
+	}
+	s.Stats.PageIns = 7
+
+	pg := restorePager(t)
+	if err := pg.RestoreState(s); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	got := pg.ExportState()
+	if len(got.Pages) != len(s.Pages) {
+		t.Fatalf("round trip kept %d pages, want %d", len(got.Pages), len(s.Pages))
+	}
+	for i := range s.Pages {
+		if got.Pages[i] != s.Pages[i] {
+			t.Errorf("page %d: got %+v, want %+v", i, got.Pages[i], s.Pages[i])
+		}
+	}
+	if len(got.Clock) != 2 || got.Clock[0] != 0x20 || got.Clock[1] != 0x10 {
+		t.Errorf("ring order not preserved: got %v, want [0x20 0x10]", got.Clock)
+	}
+	if got.Cycles != s.Cycles || got.Stats != s.Stats {
+		t.Errorf("stats/cycles: got %+v/%d, want %+v/%d", got.Stats, got.Cycles, s.Stats, s.Cycles)
+	}
+}

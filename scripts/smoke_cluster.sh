@@ -15,8 +15,11 @@ workdir=$(mktemp -d)
 pids=()
 trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-go build -o "$workdir/spurd" ./cmd/spurd
-go build -o "$workdir/spurload" ./cmd/spurload
+# -race: the drill exercises the daemon's real concurrency (queue, flight
+# dedup, outbox sender, repair scrubber) under kill/restart; the detector
+# turns a latent data race into a hard failure instead of a flaky pass.
+go build -race -o "$workdir/spurd" ./cmd/spurd
+go build -race -o "$workdir/spurload" ./cmd/spurload
 
 # Static peer lists need the ports before any node starts: probe for free
 # ones. The bind race against other processes is acceptable in a smoke test.
