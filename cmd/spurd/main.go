@@ -68,6 +68,8 @@ func main() {
 	maxHops := flag.Int("max-hops", 0, "proxy hop budget before serving locally (0 = default)")
 	outbox := flag.String("outbox", "auto", `durable replication outbox path ("auto" = <store>/outbox.journal, "off" = none)`)
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer replication/probe timeout (0 = default)")
+	netFaults := flag.String("net-faults", "", "deterministic network fault spec (overrides $"+faultinject.NetFaultEnv+"; drills only)")
+	diskFaults := flag.String("disk-faults", "", "deterministic disk fault spec (overrides $"+faultinject.DiskFaultEnv+"; drills only)")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "spurd: -jobs must be at least 1")
@@ -86,6 +88,32 @@ func main() {
 		os.Exit(2)
 	}
 	if err := faultinject.ArmCrashFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
+		os.Exit(2)
+	}
+	// The torture harness arms its fault plane through these: flags beat
+	// env, env beats nothing. A daemon with no spec runs fault-free.
+	netSpec := *netFaults
+	if netSpec == "" {
+		netSpec = os.Getenv(faultinject.NetFaultEnv)
+	}
+	var netInj *faultinject.NetInjector
+	if netSpec != "" {
+		rules, err := faultinject.ParseNetRules(netSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
+			os.Exit(2)
+		}
+		netInj = faultinject.NewNet(rules...)
+	}
+	if *diskFaults != "" {
+		rules, err := faultinject.ParseDiskRules(*diskFaults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
+			os.Exit(2)
+		}
+		faultinject.ArmDisk(faultinject.NewDisk(rules...))
+	} else if err := faultinject.ArmDiskFromEnv(); err != nil {
 		fmt.Fprintf(os.Stderr, "spurd: %v\n", err)
 		os.Exit(2)
 	}
@@ -138,6 +166,7 @@ func main() {
 		MaxHops:     *maxHops,
 		Outbox:      outboxPath,
 		PeerTimeout: *peerTimeout,
+		NetFaults:   netInj,
 		Logf:        log.Printf,
 	})
 	if err != nil {
@@ -157,6 +186,12 @@ func main() {
 		ln.Addr(), *store, *jobs, *queue)
 	if len(peerList) > 0 {
 		log.Printf("spurd: fleet member %s of %d peers", *self, len(peerList))
+	}
+	if netSpec != "" {
+		log.Printf("spurd: network fault plane armed: %s", netSpec)
+	}
+	if faultinject.ArmedDisk() != nil {
+		log.Printf("spurd: disk fault plane armed")
 	}
 
 	srv := &http.Server{Handler: s}

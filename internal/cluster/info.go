@@ -37,4 +37,8 @@ type Stats struct {
 	// (key, replica) pair count — the outbox depth.
 	Failed  uint64 `json:"failed"`
 	Pending int    `json:"pending"`
+	// OldestAgeSec is how long the oldest still-undelivered intent has been
+	// waiting, in seconds (0 when the queue is empty). A growing value under
+	// a healthy network is the first sign of a stuck replica.
+	OldestAgeSec float64 `json:"oldest_age_sec,omitempty"`
 }

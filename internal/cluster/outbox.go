@@ -43,10 +43,16 @@ type outboxRecord struct {
 type Outbox struct {
 	send func(peer, key string) error
 	logf func(string, ...any)
+	// now and newTimer are the sender's clock, injectable so backoff tests
+	// step deterministically instead of sleeping. Set before the sender
+	// starts, never after.
+	now      func() time.Time
+	newTimer func(time.Duration) *time.Timer
 
-	mu      sync.Mutex
-	w       *journal.Writer            // guarded by mu: nil for a memory-only outbox
-	pending map[string]map[string]bool // guarded by mu: key -> replicas still owed
+	mu         sync.Mutex
+	w          *journal.Writer            // guarded by mu: nil for a memory-only outbox
+	pending    map[string]map[string]bool // guarded by mu: key -> replicas still owed
+	enqueuedAt map[string]time.Time       // guarded by mu: when each owed key was first seen
 
 	enqueued  atomic.Uint64
 	delivered atomic.Uint64
@@ -66,16 +72,25 @@ type Outbox struct {
 // version is set aside (path+".stale"): its keys address a store keyed by
 // that version, not this one.
 func OpenOutbox(path, version string, send func(peer, key string) error, logf func(string, ...any)) (*Outbox, error) {
+	return openOutboxWith(path, version, send, logf, time.Now, time.NewTimer)
+}
+
+// openOutboxWith is OpenOutbox with an injected clock and retry timer, so
+// the sustained-failure backoff schedule is testable without real sleeps.
+func openOutboxWith(path, version string, send func(peer, key string) error, logf func(string, ...any), now func() time.Time, newTimer func(time.Duration) *time.Timer) (*Outbox, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	o := &Outbox{
-		send:    send,
-		logf:    logf,
-		pending: map[string]map[string]bool{},
-		wake:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		send:       send,
+		logf:       logf,
+		now:        now,
+		newTimer:   newTimer,
+		pending:    map[string]map[string]bool{},
+		enqueuedAt: map[string]time.Time{},
+		wake:       make(chan struct{}, 1),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	if path != "" {
 		w, pending, err := openOutboxJournal(path, version, logf)
@@ -84,6 +99,11 @@ func OpenOutbox(path, version string, send func(peer, key string) error, logf fu
 		}
 		o.w = w
 		o.pending = pending
+		// Replayed debts carry no timestamp in the journal; their age is
+		// measured from this recovery.
+		for k := range pending {
+			o.enqueuedAt[k] = now()
+		}
 	}
 	go o.sender()
 	if len(o.pending) > 0 {
@@ -172,6 +192,9 @@ func (o *Outbox) Enqueue(key string, peers []string) error {
 		set = map[string]bool{}
 		o.pending[key] = set
 	}
+	if _, ok := o.enqueuedAt[key]; !ok {
+		o.enqueuedAt[key] = o.now()
+	}
 	for _, p := range peers {
 		set[p] = true
 	}
@@ -200,7 +223,7 @@ func (o *Outbox) sender() {
 		var timer <-chan time.Time
 		var t *time.Timer
 		if backoff > 0 {
-			t = time.NewTimer(backoff)
+			t = o.newTimer(backoff)
 			timer = t.C
 		}
 		select {
@@ -283,6 +306,7 @@ func (o *Outbox) settle(key, peer string) {
 		delete(set, peer)
 		if len(set) == 0 {
 			delete(o.pending, key)
+			delete(o.enqueuedAt, key)
 		}
 	}
 	o.mu.Unlock()
@@ -296,12 +320,23 @@ func (o *Outbox) Stats() Stats {
 	for _, set := range o.pending {
 		pending += len(set)
 	}
+	var oldest time.Time
+	for _, at := range o.enqueuedAt {
+		if oldest.IsZero() || at.Before(oldest) {
+			oldest = at
+		}
+	}
 	o.mu.Unlock()
+	var age float64
+	if !oldest.IsZero() {
+		age = o.now().Sub(oldest).Seconds()
+	}
 	return Stats{
-		Enqueued:  o.enqueued.Load(),
-		Delivered: o.delivered.Load(),
-		Failed:    o.failed.Load(),
-		Pending:   pending,
+		Enqueued:     o.enqueued.Load(),
+		Delivered:    o.delivered.Load(),
+		Failed:       o.failed.Load(),
+		Pending:      pending,
+		OldestAgeSec: age,
 	}
 }
 

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/journal"
 )
 
@@ -146,12 +147,17 @@ type Store struct {
 
 // Open creates (if needed) and opens the store rooted at dir. An empty dir
 // yields a memory-only store: the LRU front works, disk persistence is
-// disabled.
+// disabled. Opening also sweeps orphaned atomic-write temp files — the
+// debris of a crash between temp create and rename — so they cannot
+// accumulate across process lifetimes.
 func Open(dir string, opts Options) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("expstore: opening %s: %w", dir, err)
 		}
+		// Best-effort: an unremovable orphan resurfaces at the next write,
+		// which fails loudly there.
+		_, _ = journal.SweepTemps(dir)
 	}
 	return &Store{
 		dir:   dir,
@@ -190,7 +196,7 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	s.mu.Unlock()
 
 	if s.dir != "" {
-		if raw, err := os.ReadFile(s.path(k)); err == nil {
+		if raw, err := readBlob(s.path(k)); err == nil {
 			data, verr := openBlob(raw)
 			if verr == nil {
 				s.mu.Lock()
@@ -265,7 +271,7 @@ func (s *Store) Scrub() ScrubReport {
 				return nil // foreign file; not ours to judge
 			}
 			r.Scanned++
-			raw, rerr := os.ReadFile(path)
+			raw, rerr := readBlob(path)
 			if rerr != nil {
 				r.Errors++
 				return nil
@@ -337,6 +343,17 @@ func sealBlob(payload []byte) []byte {
 	return buf
 }
 
+// readBlob reads a blob file through the disk fault seam, so a dying
+// sector under the store is drillable end to end: an injected EIO turns
+// the read into a miss and the caller recomputes or repairs, exactly as it
+// would for real rot.
+func readBlob(path string) ([]byte, error) {
+	if err := faultinject.CheckDisk(faultinject.DiskRead, path); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
 // openBlob verifies a sealed blob and returns its payload. Anything that
 // is not a well-formed envelope with a matching hash is corrupt.
 func openBlob(raw []byte) ([]byte, error) {
@@ -393,7 +410,7 @@ func (s *Store) Has(k Key) bool {
 	if s.dir == "" {
 		return false
 	}
-	raw, err := os.ReadFile(s.path(k))
+	raw, err := readBlob(s.path(k))
 	if err != nil {
 		return false
 	}
@@ -447,7 +464,7 @@ func (s *Store) GetSealed(k Key) ([]byte, bool) {
 		return nil, false
 	}
 	if s.dir != "" {
-		raw, err := os.ReadFile(s.path(k))
+		raw, err := readBlob(s.path(k))
 		if err == nil {
 			if _, verr := openBlob(raw); verr == nil {
 				return raw, true

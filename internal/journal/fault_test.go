@@ -1,0 +1,270 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// newJournal creates a journal with one record in it and returns the writer.
+func newJournal(t *testing.T, dir string) *Writer {
+	t.Helper()
+	w, err := Create(filepath.Join(dir, "j.journal"), Header{Kind: "test", Version: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("rec-0")); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// replayPayloads replays the journal and returns its record payloads.
+func replayPayloads(t *testing.T, path string) []string {
+	t.Helper()
+	rep, err := Replay(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range rep.Entries {
+		out = append(out, string(e))
+	}
+	return out
+}
+
+func TestAppendShortWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	w := newJournal(t, dir)
+	defer func() { _ = w.Close() }()
+
+	// The next journal write lands only 3 bytes before ENOSPC: a torn
+	// frame on disk. Append must report the error, roll the file back,
+	// and leave the writer usable.
+	faultinject.ArmDisk(faultinject.NewDisk(faultinject.DiskRule{
+		Op: faultinject.DiskWrite, Path: "j.journal", Err: "enospc", Every: 1, Max: 1, Partial: 3,
+	}))
+	defer faultinject.DisarmDisk()
+
+	err := w.Append([]byte("rec-1"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append under ENOSPC: %v", err)
+	}
+	if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("append error should report the rollback: %v", err)
+	}
+	if got := replayPayloads(t, w.Path()); len(got) != 1 || got[0] != "rec-0" {
+		t.Fatalf("journal after failed append = %v, want [rec-0]", got)
+	}
+	// The writer recovered: the retry goes through and replay sees both.
+	if err := w.Append([]byte("rec-1")); err != nil {
+		t.Fatalf("retry after rollback: %v", err)
+	}
+	if got := replayPayloads(t, w.Path()); len(got) != 2 || got[1] != "rec-1" {
+		t.Fatalf("journal after retry = %v", got)
+	}
+}
+
+func TestAppendSyncFaultRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	w := newJournal(t, dir)
+	defer func() { _ = w.Close() }()
+
+	faultinject.ArmDisk(faultinject.NewDisk(faultinject.DiskRule{
+		Op: faultinject.DiskSync, Path: "j.journal", Every: 1, Max: 1,
+	}))
+	defer faultinject.DisarmDisk()
+
+	if err := w.Append([]byte("rec-1")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append under EIO fsync: %v", err)
+	}
+	if got := replayPayloads(t, w.Path()); len(got) != 1 {
+		t.Fatalf("journal after failed fsync = %v, want [rec-0]", got)
+	}
+	if err := w.Append([]byte("rec-1")); err != nil {
+		t.Fatalf("retry after fsync rollback: %v", err)
+	}
+}
+
+func TestCreateFaultLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	faultinject.ArmDisk(faultinject.NewDisk(faultinject.DiskRule{
+		Op: faultinject.DiskCreate, Err: "enospc", Every: 1, Max: 1,
+	}))
+	defer faultinject.DisarmDisk()
+
+	path := filepath.Join(dir, "j.journal")
+	if _, err := Create(path, Header{Kind: "t", Version: "v"}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("create under ENOSPC: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("failed create left a file behind")
+	}
+}
+
+// TestWriteFileAtomicFaults injects a fault at every durability boundary of
+// the atomic-replace sequence and checks the contract each time: the
+// destination keeps its old content (or, past the rename, the complete new
+// content), and no temp debris survives the error path.
+func TestWriteFileAtomicFaults(t *testing.T) {
+	boundaries := []struct {
+		name string
+		rule faultinject.DiskRule
+		// renamed reports the destination is allowed to hold the new
+		// content: the fault fired after the rename.
+		renamed bool
+	}{
+		{"create", faultinject.DiskRule{Op: faultinject.DiskCreate, Err: "enospc", Every: 1, Max: 1}, false},
+		{"short-write", faultinject.DiskRule{Op: faultinject.DiskWrite, Err: "enospc", Every: 1, Max: 1, Partial: 2}, false},
+		{"fsync", faultinject.DiskRule{Op: faultinject.DiskSync, Path: ".tmp", Every: 1, Max: 1}, false},
+		{"rename", faultinject.DiskRule{Op: faultinject.DiskRename, Every: 1, Max: 1}, false},
+		{"dir-sync", faultinject.DiskRule{Op: faultinject.DiskSync, Every: 2, Max: 1}, true},
+	}
+	for _, b := range boundaries {
+		t.Run(b.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "blob.json")
+			if err := WriteFileAtomic(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			faultinject.ArmDisk(faultinject.NewDisk(b.rule))
+			defer faultinject.DisarmDisk()
+
+			err := WriteFileAtomic(path, []byte("new"), 0o644)
+			if err == nil {
+				t.Fatal("injected fault did not surface")
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("destination unreadable after fault: %v", rerr)
+			}
+			want := "old"
+			if b.renamed {
+				want = "new"
+			}
+			if string(got) != want {
+				t.Fatalf("destination = %q after %s fault, want %q", got, b.name, want)
+			}
+			ents, derr := os.ReadDir(dir)
+			if derr != nil {
+				t.Fatal(derr)
+			}
+			for _, e := range ents {
+				if isTempName(e.Name()) {
+					t.Fatalf("temp debris %s survived the %s error path", e.Name(), b.name)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteFileAtomicDirSyncFiresOnDir pins that the second DiskSync of an
+// atomic write is the parent-directory sync: an Every=2 rule matching all
+// paths skips the temp file's fsync and fires on the directory itself.
+func TestWriteFileAtomicDirSyncFiresOnDir(t *testing.T) {
+	dir := t.TempDir()
+	in := faultinject.NewDisk(faultinject.DiskRule{Op: faultinject.DiskSync, Every: 2, Max: 1})
+	faultinject.ArmDisk(in)
+	defer faultinject.DisarmDisk()
+	err := WriteFileAtomic(filepath.Join(dir, "x"), []byte("v"), 0o644)
+	if err == nil {
+		t.Fatal("dir-sync rule did not fire")
+	}
+	if lg := in.DiskLog(); len(lg) != 1 || lg[0].Path != dir {
+		t.Fatalf("disk log = %+v, want one firing on %s", lg, dir)
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	keep := []string{"blob.json", "j.journal", "x.tmp", "y.tmpz", "z.tmp1x"}
+	sweep := []string{"blob.json.tmp0", "blob.json.tmp12", filepath.Join("sub", "a.tmp3")}
+	for _, n := range append(append([]string{}, keep...), sweep...) {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(sweep) {
+		t.Fatalf("removed %d, want %d", removed, len(sweep))
+	}
+	for _, n := range keep {
+		if _, err := os.Stat(filepath.Join(dir, n)); err != nil {
+			t.Fatalf("sweep ate %s: %v", n, err)
+		}
+	}
+	for _, n := range sweep {
+		if _, err := os.Stat(filepath.Join(dir, n)); !os.IsNotExist(err) {
+			t.Fatalf("sweep left %s behind", n)
+		}
+	}
+}
+
+// TestSweepTempsAfterCrash stages the real crash: a planted kill between
+// the temp file's fsync and its rename leaves a .tmp orphan on disk, and a
+// restart's sweep removes it while the destination stays untouched.
+func TestSweepTempsAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.json")
+	if err := WriteFileAtomic(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	type crashed struct{}
+	prev := faultinject.SetCrashExit(func(int) { panic(crashed{}) })
+	defer faultinject.SetCrashExit(prev)
+	faultinject.ArmCrash(faultinject.CrashPreRename, 1)
+	defer faultinject.DisarmCrash()
+
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("planted crash did not fire")
+			} else if _, ok := r.(crashed); !ok {
+				panic(r)
+			}
+		}()
+		_ = WriteFileAtomic(path, []byte("new"), 0o644)
+	}()
+
+	// The "process" died pre-rename: destination old, one orphan temp.
+	if got, err := os.ReadFile(path); err != nil || string(got) != "old" {
+		t.Fatalf("destination after crash = %q, %v", got, err)
+	}
+	orphans := 0
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if isTempName(e.Name()) {
+			orphans++
+		}
+	}
+	if orphans != 1 {
+		t.Fatalf("crash left %d orphan temps, want 1", orphans)
+	}
+
+	removed, err := SweepTemps(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("restart sweep removed %d, want 1", removed)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("destination after sweep = %q", got)
+	}
+}

@@ -24,10 +24,14 @@ package journal
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"repro/internal/faultinject"
@@ -72,18 +76,21 @@ func Create(path string, h Header) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: encoding header: %w", err)
 	}
+	if err := faultinject.CheckDisk(faultinject.DiskCreate, path); err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
 	w := &Writer{f: f, path: path}
-	if _, err := f.Write([]byte(magic)); err != nil {
+	if _, err := faultWrite(f, []byte(magic)); err != nil {
 		return nil, w.createFail(err)
 	}
 	if err := writeFrame(f, hb); err != nil {
 		return nil, w.createFail(err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := faultSync(f); err != nil {
 		return nil, w.createFail(err)
 	}
 	if err := syncDir(filepath.Dir(path)); err != nil {
@@ -131,6 +138,11 @@ func Open(path string) (*Writer, *Replayed, error) {
 
 // Append writes one record frame and syncs the file. When Append returns
 // nil the record is durable: a SIGKILL immediately after loses nothing.
+// When the write or the fsync fails (a full or dying disk), Append rolls
+// the file back to its pre-append length so the journal holds exactly the
+// records it held before, and the writer stays usable for a later retry;
+// if the rollback itself fails the writer closes itself, and every later
+// Append fails loudly rather than appending after an untrusted fsync.
 func (w *Writer) Append(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -140,14 +152,32 @@ func (w *Writer) Append(payload []byte) error {
 	if len(payload) > maxFrame {
 		return fmt.Errorf("journal: record of %d bytes exceeds frame limit", len(payload))
 	}
-	if err := writeFrame(w.f, payload); err != nil {
+	off, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
 		return fmt.Errorf("journal: append to %s: %w", w.path, err)
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("journal: append to %s: %w", w.path, err)
+	if err := writeFrame(w.f, payload); err != nil {
+		return w.revert(off, err)
+	}
+	if err := faultSync(w.f); err != nil {
+		return w.revert(off, err)
 	}
 	faultinject.Crash(faultinject.CrashPostJournalAppend)
 	return nil
+}
+
+// revert undoes a failed append: truncate back to the pre-append offset and
+// sync, leaving state untouched. The rollback uses the real file operations,
+// not the fault seam — it is the recovery path the seam exists to exercise.
+func (w *Writer) revert(off int64, cause error) error {
+	if w.f.Truncate(off) == nil && w.f.Sync() == nil {
+		if _, err := w.f.Seek(off, 0); err == nil {
+			return fmt.Errorf("journal: append to %s (rolled back): %w", w.path, cause)
+		}
+	}
+	_ = w.f.Close() // poisoned: the rollback failed too; best-effort close
+	w.f = nil
+	return fmt.Errorf("journal: append to %s failed and rollback failed, journal closed: %w", w.path, cause)
 }
 
 // Close syncs and closes the journal. Closing twice is an error-free no-op.
@@ -227,11 +257,35 @@ func writeFrame(f *os.File, payload []byte) error {
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := f.Write(hdr[:]); err != nil {
+	if _, err := faultWrite(f, hdr[:]); err != nil {
 		return err
 	}
-	_, err := f.Write(payload)
+	_, err := faultWrite(f, payload)
 	return err
+}
+
+// faultWrite writes b to f through the disk fault seam: an injected short
+// write lands only its prefix — real torn bytes on a real file, exactly the
+// debris a filling disk leaves — before returning the injected errno.
+func faultWrite(f *os.File, b []byte) (int, error) {
+	n, ferr := faultinject.CheckDiskWrite(f.Name(), len(b))
+	if ferr == nil {
+		return f.Write(b)
+	}
+	if n > 0 {
+		if m, werr := f.Write(b[:n]); werr != nil {
+			return m, werr
+		}
+	}
+	return n, ferr
+}
+
+// faultSync fsyncs f through the disk fault seam.
+func faultSync(f *os.File) error {
+	if err := faultinject.CheckDisk(faultinject.DiskSync, f.Name()); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // readFrame decodes the frame at off, returning the payload, the offset of
@@ -263,12 +317,12 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err != nil {
 		return fmt.Errorf("journal: atomic write %s: %w", path, err)
 	}
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := faultWrite(tmp, data); err != nil {
 		_ = tmp.Close()           // already failing; best-effort cleanup
 		_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
 		return fmt.Errorf("journal: atomic write %s: %w", path, err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := faultSync(tmp); err != nil {
 		_ = tmp.Close()           // already failing; best-effort cleanup
 		_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
 		return fmt.Errorf("journal: atomic write %s: %w", path, err)
@@ -278,6 +332,10 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 		return fmt.Errorf("journal: atomic write %s: %w", path, err)
 	}
 	faultinject.Crash(faultinject.CrashPreRename)
+	if err := faultinject.CheckDisk(faultinject.DiskRename, path); err != nil {
+		_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
+		return fmt.Errorf("journal: atomic write %s: %w", path, err)
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name()) // best-effort cleanup on the error path
 		return fmt.Errorf("journal: atomic write %s: %w", path, err)
@@ -292,6 +350,9 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 // openExclTemp opens a fresh temp file next to path with O_EXCL, retrying
 // with a numeric suffix if a concurrent writer holds the first name.
 func openExclTemp(path string, perm os.FileMode) (*os.File, error) {
+	if err := faultinject.CheckDisk(faultinject.DiskCreate, path); err != nil {
+		return nil, err
+	}
 	for i := 0; ; i++ {
 		name := fmt.Sprintf("%s.tmp%d", path, i)
 		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, perm)
@@ -305,6 +366,9 @@ func openExclTemp(path string, perm os.FileMode) (*os.File, error) {
 // syncDir fsyncs a directory so a just-created or just-renamed name in it
 // survives a crash.
 func syncDir(dir string) error {
+	if err := faultinject.CheckDisk(faultinject.DiskSync, dir); err != nil {
+		return err
+	}
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
@@ -314,4 +378,56 @@ func syncDir(dir string) error {
 		return err
 	}
 	return d.Close()
+}
+
+// SweepTemps removes orphaned atomic-write temp files under dir (recursing
+// into subdirectories): the "<name>.tmp<N>" debris a crash between
+// openExclTemp and rename leaves behind, which otherwise accumulates
+// forever. Call it at startup before any writer is live — sweeping a temp
+// file that belongs to an in-flight WriteFileAtomic makes that write fail
+// loudly at rename with the destination untouched, which is safe but noisy.
+// It returns how many files it removed; removal errors are joined but do
+// not stop the sweep.
+func SweepTemps(dir string) (removed int, err error) {
+	var errs []error
+	walkErr := filepath.WalkDir(dir, func(path string, d fs.DirEntry, werr error) error {
+		if werr != nil {
+			// A directory that vanished mid-walk is not sweep debris.
+			errs = append(errs, werr)
+			return nil
+		}
+		if d.IsDir() || !isTempName(d.Name()) {
+			return nil
+		}
+		if rerr := os.Remove(path); rerr != nil {
+			errs = append(errs, rerr)
+			return nil
+		}
+		removed++
+		return nil
+	})
+	if walkErr != nil {
+		errs = append(errs, walkErr)
+	}
+	return removed, errors.Join(errs...)
+}
+
+// isTempName reports whether name matches openExclTemp's "<base>.tmp<N>"
+// pattern. The digit check keeps the sweep from eating a user file that
+// merely ends in ".tmp-something".
+func isTempName(name string) bool {
+	i := strings.LastIndex(name, ".tmp")
+	if i < 0 {
+		return false
+	}
+	digits := name[i+len(".tmp"):]
+	if digits == "" {
+		return false
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,18 @@
+//spurlint:path repro/internal/faultinject
+
+// Positive goroutine-confinement fixture for the fault plane: the
+// injector's decision path must stay synchronous — a background scheduler
+// here would decouple fault firing from the call sequence the seed
+// promises to reproduce.
+package fixture
+
+import "time"
+
+// ArmLater delays arming on a goroutine: the schedule now depends on the
+// runtime's timing, not the seed.
+func ArmLater(arm func(), after time.Duration) {
+	go func() { // want goconfine "goroutine spawned outside"
+		time.Sleep(after)
+		arm()
+	}()
+}

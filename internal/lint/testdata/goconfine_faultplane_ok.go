@@ -1,0 +1,14 @@
+//spurlint:path repro/cmd/spurtorture
+
+// Negative goroutine-confinement fixture: the torture harness is a command
+// main — scheduler code by nature — so serving a fleet node on a goroutine
+// is exactly where concurrency belongs.
+package fixture
+
+// serve runs one fleet member's accept loop off the main thread.
+func serve(loop func(), done chan struct{}) {
+	go func() {
+		defer close(done)
+		loop()
+	}()
+}

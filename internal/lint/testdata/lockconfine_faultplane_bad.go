@@ -1,0 +1,39 @@
+//spurlint:path repro/internal/faultinject
+
+// Positive lock-confinement fixtures for the fault plane: an injector
+// whose rule cursors and fault log are documented `guarded by mu` — HTTP
+// traffic hits it concurrently — accessed on paths that do not hold the
+// mutex.
+package fixture
+
+import "sync"
+
+// injector mirrors the network injector's shape: shared decision state
+// behind one mutex.
+type injector struct {
+	mu   sync.Mutex
+	seen uint64   // guarded by mu
+	log  []uint64 // guarded by mu
+}
+
+// Decide bumps the call cursor without taking the lock: two concurrent
+// requests would tear the cadence the seed promises.
+func (in *injector) Decide() bool {
+	in.seen++ // want lockconfine "in.seen is guarded by mu, but this path does not hold it"
+	return false
+}
+
+// SetRules re-arms the injector without the lock, racing every in-flight
+// decision against the swap.
+func (in *injector) SetRules(seen uint64) {
+	in.seen = seen // want lockconfine "in.seen is guarded by mu"
+}
+
+// Log snapshots under the lock but then touches the live slice again after
+// releasing it, racing any concurrent append.
+func (in *injector) Log() []uint64 {
+	in.mu.Lock()
+	out := append([]uint64(nil), in.log...)
+	in.mu.Unlock()
+	return append(out, in.log...) // want lockconfine "in.log is guarded by mu"
+}

@@ -1,0 +1,41 @@
+//spurlint:path repro/internal/faultinject
+
+// Negative lock-confinement fixtures for the fault plane: the injector
+// patterns the real code uses — decide under the lock, swap rules under
+// the lock, return a copy of the log made while holding it.
+package fixture
+
+import "sync"
+
+// injector mirrors the network injector's shape: shared decision state
+// behind one mutex.
+type injector struct {
+	mu   sync.Mutex
+	seen uint64   // guarded by mu
+	log  []uint64 // guarded by mu
+}
+
+// Decide advances the call cursor under the lock, so the seeded cadence
+// holds no matter how many requests race.
+func (in *injector) Decide() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen++
+	return in.seen%2 == 0
+}
+
+// Reset re-arms the injector between drill rounds.
+func (in *injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen = 0
+	in.log = nil
+}
+
+// Log returns a copy made while holding the lock; callers can keep it as
+// long as they like without racing the next append.
+func (in *injector) Log() []uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]uint64(nil), in.log...)
+}

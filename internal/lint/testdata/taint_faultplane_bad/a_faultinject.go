@@ -1,0 +1,17 @@
+//spurlint:path repro/internal/faultinject
+
+// Fault-plane package outside the model scope: a clock read here is legal
+// for the per-package determinism analyzer but makes the decision helpers
+// taint sources. The real injector derives every decision from its seeded
+// splitmix64 stream precisely so the model-facing half stays clean.
+package faultinject
+
+import "time"
+
+// jitter draws entropy from the wall clock — the cardinal sin for a fault
+// schedule that must replay identically from a seed.
+func jitter() uint64 { return uint64(time.Now().UnixNano()) }
+
+// NextDelay is the model-facing decision helper; the clock read is one hop
+// down, where only the interprocedural analyzer can see it.
+func NextDelay() uint64 { return jitter() % 1000 }

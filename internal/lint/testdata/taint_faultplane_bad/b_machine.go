@@ -1,0 +1,15 @@
+//spurlint:path repro/internal/machine
+
+// Positive fault-plane taint fixture: the simulator consulting a fault
+// injector whose decision reaches the wall clock. Injected faults are part
+// of the run's spec — a clock-dependent schedule silently breaks the
+// content-addressed store's replay guarantee, so the call site in the
+// model is the finding.
+package fixture
+
+import "repro/internal/faultinject"
+
+// StepFault asks the fault plane whether to perturb the next reference.
+func StepFault() bool {
+	return faultinject.NextDelay() == 0 // want taint "faultinject.NextDelay → faultinject.jitter → time.Now (wall clock)"
+}

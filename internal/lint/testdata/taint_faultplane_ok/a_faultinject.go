@@ -1,0 +1,18 @@
+//spurlint:path repro/internal/faultinject
+
+// Negative fault-plane taint fixture, the deterministic twin of
+// taint_faultplane_bad: every decision is a pure function of the rule's
+// seeded splitmix64 stream, so model code may consult it freely.
+package faultinject
+
+// next advances a splitmix64 stream — deterministic, seed in, value out.
+func next(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NextDelay draws the next fault delay from the caller's stream state.
+func NextDelay(state *uint64) uint64 { return next(state) % 1000 }

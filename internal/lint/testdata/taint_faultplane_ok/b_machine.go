@@ -1,0 +1,13 @@
+//spurlint:path repro/internal/machine
+
+// The model side of the deterministic fault plane: calling into a
+// seed-driven decision helper is clean — no findings expected.
+package fixture
+
+import "repro/internal/faultinject"
+
+// StepFault consults the seeded fault schedule; replaying the same seed
+// replays the same perturbations.
+func StepFault(state *uint64) bool {
+	return faultinject.NextDelay(state) == 0
+}

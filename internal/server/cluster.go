@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/expstore"
+	"repro/pkg/client"
 )
 
 // This file makes a spurd node fleet-aware. Placement comes from
@@ -44,6 +46,11 @@ type clusterNode struct {
 	maxHops int
 	outbox  *cluster.Outbox
 	hc      *http.Client
+	// breakers holds one outgoing circuit breaker per other peer. The map
+	// is static after newClusterNode; each Breaker locks itself. Health
+	// probes bypass it — an operator must see a down peer as down, not as
+	// breaker-skipped.
+	breakers map[string]*client.Breaker
 }
 
 // newClusterNode validates the cluster Config fields and assembles the
@@ -66,13 +73,45 @@ func newClusterNode(cfg Config) (*clusterNode, error) {
 	if !found {
 		return nil, fmt.Errorf("server: Self %q is not in the peer list %v", cfg.Self, cfg.Peers)
 	}
-	return &clusterNode{
-		self:    cfg.Self,
-		ring:    ring,
-		rep:     cfg.Replication,
-		maxHops: cfg.MaxHops,
-		hc:      &http.Client{},
-	}, nil
+	hc := &http.Client{}
+	if cfg.NetFaults != nil {
+		hc.Transport = cfg.NetFaults.Transport(nil)
+	}
+	c := &clusterNode{
+		self:     cfg.Self,
+		ring:     ring,
+		rep:      cfg.Replication,
+		maxHops:  cfg.MaxHops,
+		hc:       hc,
+		breakers: make(map[string]*client.Breaker),
+	}
+	for _, p := range ring.Peers() {
+		if p != cfg.Self {
+			c.breakers[p] = client.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, nil)
+		}
+	}
+	return c, nil
+}
+
+// breakerStates reports every peer's outgoing-breaker position, sorted by
+// the map's peer URLs, for /healthz.
+func (c *clusterNode) breakerStates() map[string]string {
+	out := make(map[string]string, len(c.breakers))
+	for p, b := range c.breakers {
+		out[p] = b.State().String()
+	}
+	return out
+}
+
+// anyBreakerOpen reports whether some peer is currently being skipped —
+// the signal that this node is absorbing a degraded fleet's extra load.
+func (c *clusterNode) anyBreakerOpen() bool {
+	for _, b := range c.breakers {
+		if b.State() == client.BreakerOpen {
+			return true
+		}
+	}
+	return false
 }
 
 // replicas returns key's replica set, owner first.
@@ -121,16 +160,24 @@ func (s *Server) proxyIfRemote(w http.ResponseWriter, r *http.Request, key expst
 		}
 	}
 	for _, peer := range c.replicas(key) {
+		br := c.breakers[peer]
+		if !br.Allow() {
+			s.cfg.Logf("spurd: proxying %.12s: skipping %s (breaker open)", key, peer)
+			continue
+		}
 		resp, err := c.forward(r, peer, payload, hops+1)
 		if err != nil {
+			br.Record(false)
 			s.cfg.Logf("spurd: proxying %.12s to %s: %v", key, peer, err)
 			continue
 		}
 		if resp.StatusCode/100 == 5 {
+			br.Record(false)
 			_ = resp.Body.Close() // failing over; the body is dead weight
 			s.cfg.Logf("spurd: proxying %.12s to %s: status %d", key, peer, resp.StatusCode)
 			continue
 		}
+		br.Record(true)
 		copyResponse(w, resp)
 		_ = resp.Body.Close() // drained by copyResponse; close is bookkeeping
 		return true
@@ -207,24 +254,39 @@ func (s *Server) sendBlob(peer, key string) error {
 		s.cfg.Logf("spurd: replication of %.12s to %s dropped: blob no longer held locally", key, peer)
 		return nil
 	}
+	br := s.cluster.breakers[peer]
+	if !br.Allow() {
+		// The outbox keeps the debt and retries on its backoff schedule;
+		// skipping here just avoids hammering a peer everyone agrees is down.
+		return fmt.Errorf("peer %s: %w", peer, errPeerBreakerOpen)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peer+"/v1/cluster/blob/"+key, bytes.NewReader(sealed))
 	if err != nil {
+		br.Record(false)
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := s.cluster.hc.Do(req)
 	if err != nil {
+		br.Record(false)
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		// The peer answered, so it is alive; a 4xx (rejected envelope) is
+		// an authoritative answer, not an availability failure.
+		br.Record(resp.StatusCode/100 == 4)
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("peer %s: status %d: %s", peer, resp.StatusCode, bytes.TrimSpace(b))
 	}
+	br.Record(true)
 	return nil
 }
+
+// errPeerBreakerOpen marks a peer call skipped by its open breaker.
+var errPeerBreakerOpen = errors.New("circuit breaker open")
 
 // --- repair ------------------------------------------------------------------
 
@@ -325,45 +387,64 @@ func (s *Server) RepairFromPeers(ctx context.Context) RepairReport {
 // getBlob fetches one sealed blob from a peer. Verification happens at
 // PutSealed; this only moves bytes.
 func (c *clusterNode) getBlob(ctx context.Context, peer, key string, timeout time.Duration) ([]byte, error) {
+	br := c.breakers[peer]
+	if !br.Allow() {
+		return nil, fmt.Errorf("peer %s: %w", peer, errPeerBreakerOpen)
+	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cluster/blob/"+key, nil)
 	if err != nil {
+		br.Record(false)
 		return nil, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		br.Record(false)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		// A 404 — the peer does not hold the blob — is a healthy answer.
+		br.Record(resp.StatusCode/100 == 4)
 		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
 	}
-	return io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	br.Record(err == nil)
+	return b, err
 }
 
 // getKeys fetches a peer's store inventory.
 func (c *clusterNode) getKeys(ctx context.Context, peer string, timeout time.Duration) ([]string, error) {
+	br := c.breakers[peer]
+	if !br.Allow() {
+		return nil, fmt.Errorf("peer %s: %w", peer, errPeerBreakerOpen)
+	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cluster/keys", nil)
 	if err != nil {
+		br.Record(false)
 		return nil, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		br.Record(false)
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		br.Record(resp.StatusCode/100 == 4)
 		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
 	}
 	var out struct {
 		Keys []string `json:"keys"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBlobBytes)).Decode(&out); err != nil {
+		br.Record(false)
 		return nil, err
 	}
+	br.Record(true)
 	return out.Keys, nil
 }
 
@@ -392,7 +473,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, info)
 }
 
-// probe checks one peer's /healthz.
+// probe checks one peer's /healthz. It deliberately bypasses the peer's
+// breaker: probes are how an operator (and GET /v1/cluster) sees a down
+// peer as down, and their outcome must not depend on breaker state.
 func (c *clusterNode) probe(ctx context.Context, peer string, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()

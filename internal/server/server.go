@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/expstore"
+	"repro/internal/faultinject"
 	"repro/internal/report"
 	"repro/pkg/client"
 )
@@ -91,6 +92,20 @@ type Config struct {
 	// Proxied requests are bounded by the requester's context instead —
 	// a forwarded compute legitimately takes as long as a local one.
 	PeerTimeout time.Duration
+	// BreakerThreshold consecutive failures open a peer's outgoing
+	// circuit breaker (default 3); BreakerCooldown is how long the open
+	// breaker skips that peer before admitting a half-open probe
+	// (default 5s). Breakers gate proxying, replication pushes, and
+	// repair fetches — never health probes.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// NetFaults, when non-nil, is the deterministic network fault plane:
+	// incoming requests pass through its Middleware, and every outgoing
+	// peer call (proxy, blob push, repair fetch, health probe) through
+	// its Transport. The injector is shared, not copied, so a torture
+	// driver can re-arm rules per round with SetRules.
+	NetFaults *faultinject.NetInjector
 
 	// Logf, when set, receives one line per computed (not cached) job.
 	Logf func(format string, args ...any)
@@ -124,6 +139,12 @@ func (c Config) fill() Config {
 		if c.PeerTimeout <= 0 {
 			c.PeerTimeout = 5 * time.Second
 		}
+		if c.BreakerThreshold <= 0 {
+			c.BreakerThreshold = 3
+		}
+		if c.BreakerCooldown <= 0 {
+			c.BreakerCooldown = 5 * time.Second
+		}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -140,6 +161,7 @@ type Server struct {
 	jobs     *jobLog
 	cluster  *clusterNode
 	mux      *http.ServeMux
+	handler  http.Handler
 	start    time.Time
 	draining atomic.Bool
 
@@ -199,11 +221,15 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/tables/{id}", s.handleTables)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.mux
+	if cfg.NetFaults != nil {
+		s.handler = cfg.NetFaults.Middleware(cfg.Self, s.mux)
+	}
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Store exposes the result store (for /healthz-style introspection and
 // tests).
@@ -453,6 +479,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.proxyIfRemote(w, r, key, req) {
 		return
 	}
+	// Only a sweep that would actually compute is sheddable; a cache hit
+	// costs nothing and is served even mid-drill.
+	if !s.store.Has(key) && s.shedHeavy(w, kind) {
+		return
+	}
 	job := s.sweepJob(key, req)
 	if req.Sample {
 		job = s.sampledSweepJob(key, req)
@@ -617,6 +648,9 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	if s.proxyIfRemote(w, r, key, nil) {
 		return
 	}
+	if !s.store.Has(key) && s.shedHeavy(w, "tables/"+id) {
+		return
+	}
 	data, cached, err := s.memoize(r.Context(), key, "tables/"+id, q, s.tablesJob(key, id, q))
 	if err != nil {
 		writeComputeError(w, err)
@@ -739,9 +773,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Peers:       len(c.ring.Peers()),
 			Replication: c.rep,
 			Outbox:      c.outbox.Stats(),
+			Breakers:    c.breakerStates(),
 		}
 	}
 	writeJSON(w, h)
+}
+
+// shedHeavy sheds one heavy request (the batch op class: sweeps and table
+// builds) with 429 when the fleet is degraded: some peer's outgoing
+// breaker is open — its share of traffic is landing here — and the local
+// waiting room is already more than half full. Interactive runs, cache
+// hits, health probes, and blob transfers are never shed this way; they
+// are how the fleet keeps serving and heals.
+func (s *Server) shedHeavy(w http.ResponseWriter, op string) bool {
+	c := s.cluster
+	if c == nil || !c.anyBreakerOpen() {
+		return false
+	}
+	if s.q.waitingCount()*2 <= s.cfg.MaxQueue {
+		return false
+	}
+	s.q.rejected.Add(1)
+	after := int(s.cfg.BreakerCooldown.Seconds())
+	if after < 1 {
+		after = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(after))
+	httpError(w, http.StatusTooManyRequests, "fleet degraded (peer breaker open) and queue backed up: shedding %s", op)
+	return true
 }
 
 // --- plumbing ----------------------------------------------------------------

@@ -370,8 +370,12 @@ type ClusterStats struct {
 	Peers       int    `json:"peers"`
 	Replication int    `json:"replication"`
 	// Outbox is the replication queue: its Pending field is the
-	// undelivered (key, replica) backlog.
+	// undelivered (key, replica) backlog, OldestAgeSec the age of the
+	// oldest still-owed intent.
 	Outbox cluster.Stats `json:"outbox"`
+	// Breakers maps each other peer's URL to this node's outgoing
+	// circuit-breaker state for it: "closed", "open", or "half-open".
+	Breakers map[string]string `json:"breakers,omitempty"`
 }
 
 // JobsStats snapshots the daemon's durable job journal.

@@ -146,20 +146,30 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("spurd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Message)
 }
 
+// doJSON performs a request whose response must decode into out. The decode
+// runs inside the retry loop: a truncated or corrupted body — a proxy that
+// cut the stream, a flaky middlebox, an injected network fault — is
+// indistinguishable from a transport failure and is retried the same way,
+// instead of surfacing as a terminal decode error.
 func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) (http.Header, error) {
-	body, header, err := c.do(ctx, method, path, in)
-	if err != nil {
-		return nil, err
-	}
-	if err := json.Unmarshal(body, out); err != nil {
-		return nil, fmt.Errorf("spurd: decoding %s response: %w", path, err)
-	}
-	return header, nil
+	_, header, err := c.doChecked(ctx, method, path, in, func(body []byte) error {
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("spurd: decoding %s response: %w", path, err)
+		}
+		return nil
+	})
+	return header, err
 }
 
 // do performs one request with the retry/backoff schedule and returns the
 // response body and headers.
 func (c *Client) do(ctx context.Context, method, path string, in any) ([]byte, http.Header, error) {
+	return c.doChecked(ctx, method, path, in, nil)
+}
+
+// doChecked is do with an optional response check: a non-nil check runs on
+// every 2xx body, and its failure counts as a retryable attempt failure.
+func (c *Client) doChecked(ctx context.Context, method, path string, in any, check func(body []byte) error) ([]byte, http.Header, error) {
 	s := c.settings()
 	var payload []byte
 	if in != nil {
@@ -180,6 +190,11 @@ func (c *Client) do(ctx context.Context, method, path string, in any) ([]byte, h
 			return nil, nil, err
 		}
 		body, header, retryable, err := c.once(ctx, s.httpClient, method, path, payload)
+		if err == nil && check != nil {
+			// A body that fails its check is a mangled response; retry it
+			// like any transport failure.
+			err, retryable = check(body), true
+		}
 		if err == nil {
 			return body, header, nil
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	spur "repro"
 	"repro/internal/cluster"
@@ -19,6 +20,17 @@ import (
 // still applies per peer, just with a lower default retry budget so a dead
 // owner costs milliseconds, not a full backoff ladder.
 //
+// Three fleet-level defenses ride on top of failover:
+//
+//   - a per-peer circuit breaker (closed/open/half-open): a peer that keeps
+//     failing is skipped outright until its cooldown elapses, so a dead node
+//     costs nothing after the first few attempts;
+//   - a total retry budget per logical request, so a failover storm cannot
+//     multiply load against an already-degraded fleet;
+//   - hedged reads for idempotent GETs: after a p99-derived delay the
+//     request is also sent to the next replica and the first response wins,
+//     with the loser cancelled.
+//
 // A Fleet is safe for concurrent use after New; do not mutate its fields
 // once requests are in flight.
 type Fleet struct {
@@ -31,6 +43,12 @@ type Fleet struct {
 	rep     int
 	version string
 	ring    *cluster.Ring
+
+	hedgeDelay     time.Duration
+	attemptTimeout time.Duration
+	retryBudget    int
+	breakers       map[string]*Breaker // static after NewFleet; each Breaker locks itself
+	lat            *latencies
 }
 
 // FleetOptions tunes NewFleet.
@@ -45,6 +63,27 @@ type FleetOptions struct {
 	// spur.Version, which is correct when client and daemons are built
 	// from the same tree).
 	Version string
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's breaker (default 3); BreakerCooldown is how long an open
+	// breaker rejects that peer before admitting a half-open probe
+	// (default 5 s). Clock injects the breaker clock, so tests and seeded
+	// drills step time deterministically (default time.Now).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	Clock            func() time.Time
+	// HedgeDelay is how long an idempotent GET waits on the owner before
+	// hedging to the next replica (first response wins, loser cancelled).
+	// Zero derives the delay from the observed p99 once enough samples
+	// exist; negative disables hedging.
+	HedgeDelay time.Duration
+	// AttemptTimeout bounds each per-peer attempt, so one black-holed
+	// peer cannot eat the caller's whole deadline budget (0 = bounded
+	// only by the caller's context).
+	AttemptTimeout time.Duration
+	// RetryBudget caps the total HTTP attempts one logical request may
+	// make across all replicas and per-peer retries (default
+	// 2 × replication).
+	RetryBudget int
 }
 
 // NewFleet builds a fleet client over the peer base URLs.
@@ -64,7 +103,25 @@ func NewFleet(peers []string, opts FleetOptions) (*Fleet, error) {
 	if version == "" {
 		version = spur.Version
 	}
-	return &Fleet{peers: ring.Peers(), rep: rep, version: version, ring: ring}, nil
+	budget := opts.RetryBudget
+	if budget <= 0 {
+		budget = 2 * rep
+	}
+	f := &Fleet{
+		peers:          ring.Peers(),
+		rep:            rep,
+		version:        version,
+		ring:           ring,
+		hedgeDelay:     opts.HedgeDelay,
+		attemptTimeout: opts.AttemptTimeout,
+		retryBudget:    budget,
+		breakers:       make(map[string]*Breaker, len(ring.Peers())),
+		lat:            &latencies{},
+	}
+	for _, p := range f.peers {
+		f.breakers[p] = NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.Clock)
+	}
+	return f, nil
 }
 
 // Peers returns the fleet's sorted peer list.
@@ -73,6 +130,16 @@ func (f *Fleet) Peers() []string { return append([]string(nil), f.peers...) }
 // Replicas returns the peers responsible for key, owner first — the order
 // requests for that key are attempted in.
 func (f *Fleet) Replicas(key string) []string { return f.ring.Replicas(key, f.rep) }
+
+// BreakerStates reports every peer's breaker position, for drills and
+// operator tooling.
+func (f *Fleet) BreakerStates() map[string]string {
+	out := make(map[string]string, len(f.breakers))
+	for p, b := range f.breakers {
+		out[p] = b.State().String()
+	}
+	return out
+}
 
 // peerClient instantiates the template against one peer.
 func (f *Fleet) peerClient(peer string) *Client {
@@ -95,23 +162,183 @@ func authoritative(err error) bool {
 	return se.Code/100 == 4 && se.Code != http.StatusTooManyRequests
 }
 
+// errBreakerOpen marks a peer skipped because its circuit breaker is open.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// clampRetries fits c's per-peer retries inside the remaining attempt
+// budget and returns how many attempts the peer may now consume. A
+// remaining budget of 1 means one attempt and no retries.
+func clampRetries(c *Client, remaining int) int {
+	retries := c.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	if retries > remaining-1 {
+		retries = remaining - 1
+	}
+	if retries == 0 {
+		c.Retries = -1 // 0 would re-default; negative means "no retries"
+	} else {
+		c.Retries = retries
+	}
+	return retries + 1
+}
+
+// attemptCtx bounds one per-peer attempt with the fleet's attempt timeout.
+func (f *Fleet) attemptCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if f.attemptTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, f.attemptTimeout)
+}
+
 // failover runs try against each of key's replicas in placement order
-// until one answers. Authoritative errors return immediately; when every
-// replica is down the caller gets one clear error naming them all.
-func (f *Fleet) failover(ctx context.Context, key expstore.Key, try func(c *Client) error) error {
+// until one answers, skipping peers whose breaker is open and stopping
+// when the retry budget is spent. Authoritative errors return immediately;
+// when every replica fails the caller gets one clear error naming them all.
+func (f *Fleet) failover(ctx context.Context, key expstore.Key, try func(ctx context.Context, c *Client) error) error {
 	replicas := f.Replicas(string(key))
+	attempts := 0
 	var errs []error
 	for _, peer := range replicas {
-		err := try(f.peerClient(peer))
+		if attempts >= f.retryBudget {
+			errs = append(errs, fmt.Errorf("retry budget of %d attempts spent", f.retryBudget))
+			break
+		}
+		br := f.breakers[peer]
+		if !br.Allow() {
+			errs = append(errs, fmt.Errorf("%s: %w", peer, errBreakerOpen))
+			continue
+		}
+		c := f.peerClient(peer)
+		attempts += clampRetries(c, f.retryBudget-attempts)
+		actx, cancel := f.attemptCtx(ctx)
+		err := try(actx, c)
+		cancel()
 		if err == nil {
+			br.Record(true)
 			return nil
 		}
 		if authoritative(err) {
+			// The peer answered; only the answer was "no".
+			br.Record(true)
 			return err
 		}
+		br.Record(false)
 		errs = append(errs, fmt.Errorf("%s: %w", peer, err))
 		if ctx.Err() != nil {
 			break
+		}
+	}
+	return fmt.Errorf("fleet: all %d replicas of %.12s unreachable: %w", len(replicas), key, errors.Join(errs...))
+}
+
+// hedgeResult is one hedged attempt's outcome.
+type hedgeResult struct {
+	peer string
+	err  error
+	dur  time.Duration
+}
+
+// hedge runs try against key's replicas with hedged-read semantics: the
+// owner is asked first, and if no response lands within the hedge delay
+// the next replica is asked too — first success wins and the losers are
+// cancelled. A failed attempt launches the next replica immediately
+// (plain failover), the retry budget caps total attempts, and per-peer
+// breakers gate participation exactly as in failover. try must be
+// idempotent and must serialize its own result handling (hedge only
+// commits one winner, via the returned peer).
+func (f *Fleet) hedge(ctx context.Context, key expstore.Key, try func(ctx context.Context, c *Client) error) error {
+	delay := f.hedgeDelay
+	if delay == 0 {
+		if p99, ok := f.lat.p99(); ok {
+			delay = p99
+		}
+	}
+	if delay <= 0 {
+		// Hedging disabled (or no latency history yet): plain failover.
+		return f.failover(ctx, key, try)
+	}
+
+	replicas := f.Replicas(string(key))
+	var allowed []string
+	var errs []error
+	for _, peer := range replicas {
+		if f.breakers[peer].Allow() {
+			allowed = append(allowed, peer)
+		} else {
+			errs = append(errs, fmt.Errorf("%s: %w", peer, errBreakerOpen))
+		}
+	}
+	if len(allowed) == 0 {
+		return fmt.Errorf("fleet: all %d replicas of %.12s rejected: %w", len(replicas), key, errors.Join(errs...))
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan hedgeResult, len(allowed))
+	attempts := 0
+	started := 0
+	launch := func() {
+		peer := allowed[started]
+		started++
+		c := f.peerClient(peer)
+		c.Retries = -1 // hedging replaces the per-peer retry ladder
+		attempts++
+		go func() {
+			actx, acancel := f.attemptCtx(hctx)
+			defer acancel()
+			t0 := time.Now()
+			err := try(actx, c)
+			results <- hedgeResult{peer: peer, err: err, dur: time.Since(t0)}
+		}()
+	}
+	canLaunch := func() bool { return started < len(allowed) && attempts < f.retryBudget }
+
+	launch()
+	inflight := 1
+	for inflight > 0 {
+		var hedgeC <-chan time.Time
+		var hedgeT *time.Timer
+		if canLaunch() {
+			hedgeT = time.NewTimer(delay)
+			hedgeC = hedgeT.C
+		}
+		var won, done bool
+		var out error
+		select {
+		case r := <-results:
+			inflight--
+			switch {
+			case r.err == nil:
+				f.breakers[r.peer].Record(true)
+				f.lat.add(r.dur)
+				won, done = true, true
+			case authoritative(r.err):
+				f.breakers[r.peer].Record(true)
+				out, done = r.err, true
+			default:
+				f.breakers[r.peer].Record(false)
+				errs = append(errs, fmt.Errorf("%s: %w", r.peer, r.err))
+				if ctx.Err() == nil && canLaunch() {
+					launch()
+					inflight++
+				}
+			}
+		case <-hedgeC:
+			launch()
+			inflight++
+		case <-ctx.Done():
+			out, done = fmt.Errorf("fleet: hedged %.12s: %w", key, errors.Join(append(errs, ctx.Err())...)), true
+		}
+		if hedgeT != nil {
+			hedgeT.Stop()
+		}
+		if done {
+			if won {
+				return nil
+			}
+			return out
 		}
 	}
 	return fmt.Errorf("fleet: all %d replicas of %.12s unreachable: %w", len(replicas), key, errors.Join(errs...))
@@ -128,7 +355,7 @@ func (f *Fleet) Run(ctx context.Context, req RunRequest) (*RunResponse, error) {
 		return nil, err
 	}
 	var resp *RunResponse
-	err = f.failover(ctx, key, func(c *Client) error {
+	err = f.failover(ctx, key, func(ctx context.Context, c *Client) error {
 		r, err := c.Run(ctx, req)
 		if err == nil {
 			resp = r
@@ -154,7 +381,7 @@ func (f *Fleet) Sweep(ctx context.Context, req SweepRequest) ([]byte, SweepMeta,
 	}
 	var body []byte
 	var meta SweepMeta
-	err = f.failover(ctx, key, func(c *Client) error {
+	err = f.failover(ctx, key, func(ctx context.Context, c *Client) error {
 		b, m, err := c.Sweep(ctx, req)
 		if err == nil {
 			body, meta = b, m
@@ -164,8 +391,10 @@ func (f *Fleet) Sweep(ctx context.Context, req SweepRequest) ([]byte, SweepMeta,
 	return body, meta, err
 }
 
-// Tables fetches one paper artifact against the key's owner, failing over
-// through its replicas.
+// Tables fetches one paper artifact with hedged-read semantics: it is an
+// idempotent GET of immutable content, so after the hedge delay the next
+// replica is asked concurrently and the first response wins. Each in-flight
+// attempt decodes into its own response; only the winner's is kept.
 func (f *Fleet) Tables(ctx context.Context, id string, q TablesQuery) (*TablesResponse, error) {
 	if err := q.Normalize(); err != nil {
 		return nil, err
@@ -174,19 +403,28 @@ func (f *Fleet) Tables(ctx context.Context, id string, q TablesQuery) (*TablesRe
 	if err != nil {
 		return nil, err
 	}
-	var resp *TablesResponse
-	err = f.failover(ctx, key, func(c *Client) error {
+	winner := make(chan *TablesResponse, 1)
+	err = f.hedge(ctx, key, func(ctx context.Context, c *Client) error {
 		r, err := c.Tables(ctx, id, q)
-		if err == nil {
-			resp = r
+		if err != nil {
+			return err
 		}
-		return err
+		select {
+		case winner <- r:
+		default: // a faster attempt already won
+		}
+		return nil
 	})
-	return resp, err
+	if err != nil {
+		return nil, err
+	}
+	return <-winner, nil
 }
 
 // Health fetches every peer's /healthz; unreachable peers get a nil entry
-// and an error in the second slice (indexed like Peers()).
+// and an error in the second slice (indexed like Peers()). Health probes
+// bypass the breakers — they are how an operator sees a down peer, so they
+// must not be gated by its state.
 func (f *Fleet) Health(ctx context.Context) ([]*Health, []error) {
 	hs := make([]*Health, len(f.peers))
 	errs := make([]error, len(f.peers))

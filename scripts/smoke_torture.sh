@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Torture smoke: run the seeded fault schedule — partition, slow peer,
+# corrupted bodies, ENOSPC, bit rot, SIGKILL — against a 3-node subprocess
+# spurd fleet and require zero invariant violations: every request answered
+# within budget with bytes identical to a clean run, outboxes drained, and
+# the quarantine ledger balanced. A second in-process run with the same
+# seed must print the same schedule digest, pinning both the schedule's
+# determinism and its independence from the fleet mode. CI runs this; it
+# also works locally:
+#
+#   ./scripts/smoke_torture.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# -race on both binaries: the drill concurrently exercises the injectors,
+# breakers, outbox sender and kill/restart paths; the detector turns a
+# latent race into a hard failure instead of a flaky pass.
+go build -race -o "$workdir/spurd" ./cmd/spurd
+go build -race -o "$workdir/spurtorture" ./cmd/spurtorture
+
+seed=1
+
+"$workdir/spurtorture" -mode subprocess -bin "$workdir/spurd" \
+    -seed "$seed" -rounds 6 2>&1 | tee "$workdir/subprocess.log"
+
+"$workdir/spurtorture" -mode inproc \
+    -seed "$seed" -rounds 6 2>&1 | tee "$workdir/inproc.log"
+
+d1=$(grep -o 'schedule digest [0-9a-f]*' "$workdir/subprocess.log")
+d2=$(grep -o 'schedule digest [0-9a-f]*' "$workdir/inproc.log")
+if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
+    echo "FAIL: seed $seed schedules diverged across modes: subprocess '$d1' vs inproc '$d2'" >&2
+    exit 1
+fi
+echo "torture smoke OK: both modes passed with identical $d1 (seed $seed)"
