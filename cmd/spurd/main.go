@@ -70,6 +70,8 @@ func main() {
 	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer replication/probe timeout (0 = default)")
 	netFaults := flag.String("net-faults", "", "deterministic network fault spec (overrides $"+faultinject.NetFaultEnv+"; drills only)")
 	diskFaults := flag.String("disk-faults", "", "deterministic disk fault spec (overrides $"+faultinject.DiskFaultEnv+"; drills only)")
+	allowEnvFaults := flag.Bool("allow-env-faults", false,
+		"honor $"+faultinject.NetFaultEnv+"/$"+faultinject.DiskFaultEnv+"/$"+faultinject.CrashEnv+" (drills only; the -*-faults flags need no opt-in)")
 	flag.Parse()
 	if *jobs < 1 {
 		fmt.Fprintln(os.Stderr, "spurd: -jobs must be at least 1")
@@ -86,6 +88,18 @@ func main() {
 	if (len(peerList) > 0) != (*self != "") {
 		fmt.Fprintln(os.Stderr, "spurd: -self and -peers must be set together")
 		os.Exit(2)
+	}
+	// Env-armed faults need an explicit opt-in: a stray variable inherited
+	// from a torture run must not silently inject ENOSPC/EIO or corrupted
+	// traffic into a production daemon. Refusing loudly beats ignoring —
+	// a drill that forgot the flag should fail, not run clean.
+	if !*allowEnvFaults {
+		for _, k := range []string{faultinject.NetFaultEnv, faultinject.DiskFaultEnv, faultinject.CrashEnv} {
+			if os.Getenv(k) != "" {
+				fmt.Fprintf(os.Stderr, "spurd: $%s is set but -allow-env-faults is not; refusing to arm a fault plane from the environment\n", k)
+				os.Exit(2)
+			}
+		}
 	}
 	if err := faultinject.ArmCrashFromEnv(); err != nil {
 		fmt.Fprintf(os.Stderr, "spurd: %v\n", err)

@@ -277,7 +277,7 @@ func (s *Server) sendBlob(peer, key string) error {
 	if resp.StatusCode/100 != 2 {
 		// The peer answered, so it is alive; a 4xx (rejected envelope) is
 		// an authoritative answer, not an availability failure.
-		br.Record(resp.StatusCode/100 == 4)
+		br.Record(peerAnswered(resp.StatusCode))
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("peer %s: status %d: %s", peer, resp.StatusCode, bytes.TrimSpace(b))
 	}
@@ -287,6 +287,15 @@ func (s *Server) sendBlob(peer, key string) error {
 
 // errPeerBreakerOpen marks a peer call skipped by its open breaker.
 var errPeerBreakerOpen = errors.New("circuit breaker open")
+
+// peerAnswered reports whether a non-2xx status still counts as a healthy
+// peer for breaker accounting: any 4xx except 429. A 429 is the peer
+// shedding load, and must count against it like an availability failure
+// (mirroring the client's authoritative()), or the breaker never opens and
+// backoff pressure on an overloaded peer is never reduced.
+func peerAnswered(code int) bool {
+	return code/100 == 4 && code != http.StatusTooManyRequests
+}
 
 // --- repair ------------------------------------------------------------------
 
@@ -406,7 +415,7 @@ func (c *clusterNode) getBlob(ctx context.Context, peer, key string, timeout tim
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// A 404 — the peer does not hold the blob — is a healthy answer.
-		br.Record(resp.StatusCode/100 == 4)
+		br.Record(peerAnswered(resp.StatusCode))
 		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
 	}
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
@@ -434,7 +443,7 @@ func (c *clusterNode) getKeys(ctx context.Context, peer string, timeout time.Dur
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		br.Record(resp.StatusCode/100 == 4)
+		br.Record(peerAnswered(resp.StatusCode))
 		return nil, fmt.Errorf("peer %s: status %d", peer, resp.StatusCode)
 	}
 	var out struct {

@@ -247,6 +247,28 @@ func (tc *testCluster) waitReplicated(t *testing.T, key expstore.Key) {
 	t.Fatalf("blob %.12s not on all replicas %v within deadline", key, replicas)
 }
 
+// TestPeerAnswered pins breaker accounting for peer statuses:
+// a plain 4xx is a healthy authoritative answer, but 429 is the peer
+// shedding load and must count as a failure so the breaker can open.
+func TestPeerAnswered(t *testing.T) {
+	cases := []struct {
+		code int
+		want bool
+	}{
+		{http.StatusNotFound, true},
+		{http.StatusBadRequest, true},
+		{http.StatusTooManyRequests, false},
+		{http.StatusInternalServerError, false},
+		{http.StatusBadGateway, false},
+		{http.StatusOK, false}, // never asked for 2xx; callers Record(true) directly
+	}
+	for _, c := range cases {
+		if got := peerAnswered(c.code); got != c.want {
+			t.Errorf("peerAnswered(%d) = %v, want %v", c.code, got, c.want)
+		}
+	}
+}
+
 func TestClusterProxyRoutesToReplica(t *testing.T) {
 	tc := startCluster(t, 3, 2)
 	req := testSweepReq(11)

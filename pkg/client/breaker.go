@@ -112,6 +112,21 @@ func (b *Breaker) Record(ok bool) {
 	}
 }
 
+// cancelProbe releases an admitted request whose outcome was never
+// observed — a hedge loser cancelled after another peer won, or an
+// attempt abandoned when the caller's context died. It is the alternate
+// match for an Allow that returned true: the in-flight probe is cleared
+// so a later Allow can admit a new one, without judging the peer either
+// way.
+func (b *Breaker) cancelProbe() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // State returns the breaker's current position without advancing it: an
 // open breaker past its cooldown still reads as open until a request
 // actually probes it.

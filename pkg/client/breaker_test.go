@@ -83,6 +83,34 @@ func TestBreakerStateMachine(t *testing.T) {
 	}
 }
 
+// TestBreakerCancelProbe pins the alternate match for an admitted Allow:
+// cancelling a half-open probe releases the admission without judging the
+// peer, so the next request can probe instead of being rejected forever.
+func TestBreakerCancelProbe(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(1, time.Second, clk.now)
+	b.Allow()
+	b.Record(false) // threshold 1: open
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit a probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+	b.cancelProbe()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cancelled probe = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("cancelled probe must free the slot for the next request")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful replacement probe should close")
+	}
+}
+
 func TestNilBreakerIsTransparent(t *testing.T) {
 	var b *Breaker
 	if !b.Allow() {
@@ -301,6 +329,126 @@ func TestHedgedTablesFirstResponseWins(t *testing.T) {
 	// Both the owner and the hedge were contacted.
 	if peers[slow].calls.Load() != 1 {
 		t.Fatalf("owner saw %d calls, want 1", peers[slow].calls.Load())
+	}
+}
+
+// TestHedgeLoserReleasesHalfOpenProbe is the recovered-peer blacklist
+// regression: a peer whose breaker is half-open after its cooldown joins a
+// hedged read as the probe, loses the race, and is cancelled. Its admission
+// must be released (not left probing forever), or the peer would be
+// excluded from every future fleet operation until process restart.
+func TestHedgeLoserReleasesHalfOpenProbe(t *testing.T) {
+	peers := startTablesPeers(t, 3)
+	urls := make([]string, len(peers))
+	for i, p := range peers {
+		urls[i] = p.ts.URL
+	}
+	clk := &fakeClock{}
+	f, err := NewFleet(urls, FleetOptions{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Clock:            clk.now,
+		HedgeDelay:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := TablesQuery{}
+	if err := q.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := expstore.KeyOf(spur.Version, "tables/3.1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := f.Replicas(string(key))
+
+	// Open the owner's breaker, then let the cooldown elapse: the next
+	// contact is admitted as the single half-open probe.
+	ob := f.breakers[order[0]]
+	ob.Record(false)
+	ob.Record(false)
+	if ob.State() != BreakerOpen {
+		t.Fatalf("owner breaker = %v, want open", ob.State())
+	}
+	clk.advance(time.Minute)
+
+	// The recovered owner is slow, so its probe loses the hedged race to
+	// the fast replica and is cancelled.
+	for i, p := range peers {
+		if p.ts.URL == order[0] {
+			peers[i].delay.Store(int64(300 * time.Millisecond))
+		}
+	}
+	resp, terr := f.Tables(context.Background(), "3.1", TablesQuery{})
+	if terr != nil {
+		t.Fatal(terr)
+	}
+	if resp.Key != order[1] {
+		t.Fatalf("winner = %s, want hedged replica %s", resp.Key, order[1])
+	}
+
+	// The losing probe settles in the background; the breaker must end up
+	// willing to admit another request, not stuck probing.
+	deadline := time.Now().Add(2 * time.Second)
+	for !ob.Allow() {
+		if time.Now().After(deadline) {
+			t.Fatal("hedge loser left the half-open breaker probing forever")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ob.cancelProbe() // release the admission the successful Allow took
+}
+
+// TestZeroHedgeDelayEngagesFromFailoverLatencies pins the documented
+// "zero derives the delay from the observed p99" behavior: plain failover
+// successes must feed the latency window, or the estimate never trusts
+// itself and zero-delay hedging is dead code.
+func TestZeroHedgeDelayEngagesFromFailoverLatencies(t *testing.T) {
+	peers := startTablesPeers(t, 3)
+	urls := make([]string, len(peers))
+	for i, p := range peers {
+		urls[i] = p.ts.URL
+	}
+	f, err := NewFleet(urls, FleetOptions{}) // HedgeDelay 0: p99-derived
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < latMinSamples; i++ {
+		if _, err := f.Tables(context.Background(), "3.1", TablesQuery{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := f.lat.p99(); !ok {
+		t.Fatal("latency window untrusted after enough failover successes; zero HedgeDelay could never engage")
+	}
+
+	// With a trusted (sub-millisecond, local test servers) p99, a slow
+	// owner is now hedged around instead of waited for.
+	q := TablesQuery{}
+	if err := q.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := expstore.KeyOf(spur.Version, "tables/3.1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := f.Replicas(string(key))
+	for i, p := range peers {
+		if p.ts.URL == order[0] {
+			peers[i].delay.Store(int64(500 * time.Millisecond))
+		}
+	}
+	start := time.Now()
+	resp, terr := f.Tables(context.Background(), "3.1", TablesQuery{})
+	if terr != nil {
+		t.Fatal(terr)
+	}
+	if resp.Key != order[1] {
+		t.Fatalf("winner = %s, want hedged replica %s", resp.Key, order[1])
+	}
+	if d := time.Since(start); d > 400*time.Millisecond {
+		t.Fatalf("zero-delay hedge waited for the slow owner: %v", d)
 	}
 }
 

@@ -213,10 +213,15 @@ func (f *Fleet) failover(ctx context.Context, key expstore.Key, try func(ctx con
 		c := f.peerClient(peer)
 		attempts += clampRetries(c, f.retryBudget-attempts)
 		actx, cancel := f.attemptCtx(ctx)
+		t0 := time.Now()
 		err := try(actx, c)
 		cancel()
 		if err == nil {
 			br.Record(true)
+			// Feed the hedge-delay estimate from every successful read, not
+			// just hedged ones — with HedgeDelay == 0 the p99 window must
+			// fill here, or hedging could never engage.
+			f.lat.add(time.Since(t0))
 			return nil
 		}
 		if authoritative(err) {
@@ -261,42 +266,44 @@ func (f *Fleet) hedge(ctx context.Context, key expstore.Key, try func(ctx contex
 	}
 
 	replicas := f.Replicas(string(key))
-	var allowed []string
 	var errs []error
-	for _, peer := range replicas {
-		if f.breakers[peer].Allow() {
-			allowed = append(allowed, peer)
-		} else {
-			errs = append(errs, fmt.Errorf("%s: %w", peer, errBreakerOpen))
-		}
-	}
-	if len(allowed) == 0 {
-		return fmt.Errorf("fleet: all %d replicas of %.12s rejected: %w", len(replicas), key, errors.Join(errs...))
-	}
-
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make(chan hedgeResult, len(allowed))
+	results := make(chan hedgeResult, len(replicas))
 	attempts := 0
-	started := 0
-	launch := func() {
-		peer := allowed[started]
-		started++
-		c := f.peerClient(peer)
-		c.Retries = -1 // hedging replaces the per-peer retry ladder
-		attempts++
-		go func() {
-			actx, acancel := f.attemptCtx(hctx)
-			defer acancel()
-			t0 := time.Now()
-			err := try(actx, c)
-			results <- hedgeResult{peer: peer, err: err, dur: time.Since(t0)}
-		}()
+	next := 0 // next replica candidate, in placement order
+	inflight := 0
+	// launch contacts the next replica whose breaker admits it. Allow is
+	// asked only here, for peers actually contacted, so every admitted
+	// probe is matched by a Record (or a cancelProbe via drain below).
+	launch := func() bool {
+		for next < len(replicas) && attempts < f.retryBudget {
+			peer := replicas[next]
+			next++
+			if !f.breakers[peer].Allow() {
+				errs = append(errs, fmt.Errorf("%s: %w", peer, errBreakerOpen))
+				continue
+			}
+			c := f.peerClient(peer)
+			c.Retries = -1 // hedging replaces the per-peer retry ladder
+			attempts++
+			inflight++
+			go func() {
+				actx, acancel := f.attemptCtx(hctx)
+				defer acancel()
+				t0 := time.Now()
+				err := try(actx, c)
+				results <- hedgeResult{peer: peer, err: err, dur: time.Since(t0)}
+			}()
+			return true
+		}
+		return false
 	}
-	canLaunch := func() bool { return started < len(allowed) && attempts < f.retryBudget }
+	canLaunch := func() bool { return next < len(replicas) && attempts < f.retryBudget }
 
-	launch()
-	inflight := 1
+	if !launch() {
+		return fmt.Errorf("fleet: all %d replicas of %.12s rejected: %w", len(replicas), key, errors.Join(errs...))
+	}
 	for inflight > 0 {
 		var hedgeC <-chan time.Time
 		var hedgeT *time.Timer
@@ -320,14 +327,12 @@ func (f *Fleet) hedge(ctx context.Context, key expstore.Key, try func(ctx contex
 			default:
 				f.breakers[r.peer].Record(false)
 				errs = append(errs, fmt.Errorf("%s: %w", r.peer, r.err))
-				if ctx.Err() == nil && canLaunch() {
+				if ctx.Err() == nil {
 					launch()
-					inflight++
 				}
 			}
 		case <-hedgeC:
 			launch()
-			inflight++
 		case <-ctx.Done():
 			out, done = fmt.Errorf("fleet: hedged %.12s: %w", key, errors.Join(append(errs, ctx.Err())...)), true
 		}
@@ -335,6 +340,8 @@ func (f *Fleet) hedge(ctx context.Context, key expstore.Key, try func(ctx contex
 			hedgeT.Stop()
 		}
 		if done {
+			cancel()
+			f.drainLosers(results, inflight)
 			if won {
 				return nil
 			}
@@ -342,6 +349,33 @@ func (f *Fleet) hedge(ctx context.Context, key expstore.Key, try func(ctx contex
 		}
 	}
 	return fmt.Errorf("fleet: all %d replicas of %.12s unreachable: %w", len(replicas), key, errors.Join(errs...))
+}
+
+// drainLosers settles breaker accounting for hedge attempts still in
+// flight when hedge returns: every Allow that admitted a request must be
+// matched, or a half-open peer stays probing and is excluded forever. It
+// runs in the background so the winner's caller is not held hostage to the
+// (already-cancelled) losers. A loser that actually answered is recorded
+// normally; one cut short by hedge's own cancellation releases its
+// admission without judging the peer.
+func (f *Fleet) drainLosers(results <-chan hedgeResult, inflight int) {
+	if inflight == 0 {
+		return
+	}
+	go func() {
+		for i := 0; i < inflight; i++ {
+			r := <-results
+			br := f.breakers[r.peer]
+			switch {
+			case r.err == nil, authoritative(r.err):
+				br.Record(true)
+			case errors.Is(r.err, context.Canceled):
+				br.cancelProbe()
+			default:
+				br.Record(false)
+			}
+		}
+	}()
 }
 
 // Run executes one simulator run against the key's owner, failing over
